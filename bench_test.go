@@ -1,0 +1,167 @@
+package aecdsm_test
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"aecdsm"
+	"aecdsm/internal/aec"
+	"aecdsm/internal/harness"
+)
+
+// benchScale controls the problem sizes the benchmark harness uses. The
+// default 0.25 keeps `go test -bench=.` under a few minutes; set
+// AEC_BENCH_SCALE=1.0 to regenerate the tables at the paper's sizes.
+func benchScale() float64 {
+	if s := os.Getenv("AEC_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.25
+}
+
+// benchOut returns where table output goes: stdout with -v-style verbosity
+// via AEC_BENCH_PRINT=1, discarded otherwise.
+func benchOut() io.Writer {
+	if os.Getenv("AEC_BENCH_PRINT") != "" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// reportParallelCycles attaches the simulated parallel execution time of
+// the run set as a benchmark metric.
+func reportParallelCycles(b *testing.B, e *harness.Experiments, app string, kind harness.ProtocolKind) {
+	b.Helper()
+	res := e.Run(app, kind)
+	b.ReportMetric(float64(res.Cycles()), "simcycles")
+}
+
+// BenchmarkTable2SyncEvents regenerates Table 2: synchronization events
+// per application, measured under AEC.
+func BenchmarkTable2SyncEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Table2(benchOut())
+	}
+}
+
+// BenchmarkTable3LAPSuccess regenerates Table 3: LAP success rates per
+// lock-variable group for Ns=2.
+func BenchmarkTable3LAPSuccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Table3(benchOut())
+	}
+}
+
+// BenchmarkFigure3FaultOverhead regenerates Figure 3: memory access fault
+// overhead under AEC without LAP vs AEC, lock-intensive applications.
+func BenchmarkFigure3FaultOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Figure3(benchOut())
+	}
+}
+
+// BenchmarkFigure4NoLAPvsLAP regenerates Figure 4: running time breakdown
+// under AEC without LAP vs AEC.
+func BenchmarkFigure4NoLAPvsLAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Figure4(benchOut())
+	}
+}
+
+// BenchmarkTable4DiffStats regenerates Table 4: diff sizes, merge rates
+// and the hidden fraction of diff-creation cost under AEC.
+func BenchmarkTable4DiffStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Table4(benchOut())
+	}
+}
+
+// BenchmarkFigure5TMvsAEC regenerates Figure 5: execution time breakdowns
+// under TreadMarks vs AEC for the barrier-dominated applications.
+func BenchmarkFigure5TMvsAEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Figure5(benchOut())
+	}
+}
+
+// BenchmarkFigure6TMvsAEC regenerates Figure 6: execution time breakdowns
+// under TreadMarks vs AEC for the lock-intensive applications.
+func BenchmarkFigure6TMvsAEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.Figure6(benchOut())
+	}
+}
+
+// BenchmarkNsSweep regenerates the §5.1 robustness study: LAP accuracy and
+// runtime for update-set sizes 1-3.
+func BenchmarkNsSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(benchScale())
+		e.NsSweep(benchOut())
+	}
+}
+
+// BenchmarkApp runs every application under every protocol individually,
+// reporting the simulated parallel execution time as a metric — the raw
+// material behind every figure, useful for ablation comparisons.
+func BenchmarkApp(b *testing.B) {
+	kinds := []harness.ProtocolKind{
+		harness.ProtoAEC, harness.ProtoAECNoLAP, harness.ProtoTM, harness.ProtoIdeal,
+	}
+	for _, app := range harness.AllApps() {
+		for _, kind := range kinds {
+			app, kind := app, kind
+			b.Run(app+"/"+string(kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e := aecdsm.NewExperiments(benchScale())
+					reportParallelCycles(b, e, app, kind)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation quantifies AEC's two overlap design choices on a
+// barrier-heavy and a lock-heavy application: eager barrier-time diff
+// creation (vs fully lazy) and the acquire-time overlap window.
+func BenchmarkAblation(b *testing.B) {
+	apps := []string{"Ocean", "Water-ns"}
+	variants := []struct {
+		name string
+		mk   func() *aec.AEC
+	}{
+		{"full", func() *aec.AEC { return aec.New(aec.DefaultOptions()) }},
+		{"lazy-barrier-diffs", func() *aec.AEC {
+			return aec.New(aec.Options{UseLAP: true, Ns: 2, LazyBarrierDiffs: true})
+		}},
+		{"no-acquire-overlap", func() *aec.AEC {
+			return aec.New(aec.Options{UseLAP: true, Ns: 2, NoAcquireOverlap: true})
+		}},
+	}
+	for _, app := range apps {
+		for _, v := range variants {
+			app, v := app, v
+			b.Run(app+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					prog, err := aecdsm.NewApp(app, benchScale())
+					if err != nil {
+						b.Fatal(err)
+					}
+					res := harness.MustRun(aecdsm.DefaultParams(), v.mk(), prog)
+					b.ReportMetric(float64(res.Cycles()), "simcycles")
+				}
+			})
+		}
+	}
+}

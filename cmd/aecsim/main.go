@@ -1,0 +1,88 @@
+// Command aecsim runs one application under one SW-DSM protocol on the
+// simulated 16-node network of workstations and prints the measurements:
+// the execution-time breakdown (busy/data/synch/ipc/others), fault, diff
+// and messaging statistics.
+//
+// Usage:
+//
+//	aecsim -app IS -protocol AEC
+//	aecsim -app Water-ns -protocol TM -scale 0.25
+//	aecsim -app Raytrace -protocol AEC -ns 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aecdsm"
+	"aecdsm/internal/stats"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "IS", "application to run (see -list)")
+		protocol = flag.String("protocol", "AEC", "protocol: AEC, AEC-noLAP, TM, ideal")
+		scale    = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
+		ns       = flag.Int("ns", 2, "LAP update set size (AEC only)")
+		list     = flag.Bool("list", false, "list applications and protocols")
+		perProc  = flag.Bool("procs", false, "print the per-processor breakdown")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications:", aecdsm.Apps())
+		fmt.Println("protocols:   ", aecdsm.Protocols())
+		return
+	}
+
+	res, err := aecdsm.Run(aecdsm.Config{
+		App: *app, Protocol: *protocol, Scale: *scale, Ns: *ns,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aecsim:", err)
+		os.Exit(1)
+	}
+
+	run := res.Run
+	fmt.Printf("%s under %s: %d simulated cycles (%.2f ms at 100 MHz)\n",
+		run.App, run.Protocol, run.Cycles, float64(run.Cycles)/1e5)
+
+	total := run.TotalBreakdown()
+	fmt.Printf("breakdown: ")
+	for cat := stats.Category(0); cat < stats.NumCategories; cat++ {
+		fmt.Printf("%s %.1f%%  ", cat, 100*float64(total[cat])/float64(total.Total()))
+	}
+	fmt.Println()
+
+	fmt.Printf("locks: %d acquires, %d barriers, %d acquire notices\n",
+		run.LockAcquires(), run.BarrierEvents(),
+		run.Sum(func(p *stats.Proc) uint64 { return p.AcquireNotices }))
+	fmt.Printf("faults: %d read, %d write (%d cold), %d cycles stalled\n",
+		run.Sum(func(p *stats.Proc) uint64 { return p.ReadFaults }),
+		run.Sum(func(p *stats.Proc) uint64 { return p.WriteFaults }),
+		run.Sum(func(p *stats.Proc) uint64 { return p.ColdFaults }),
+		run.FaultCycles())
+	d := run.Diffs()
+	fmt.Printf("diffs: avg %.0f B, merged avg %.0f B (%.1f%% merged), create %d cy (%.1f%% hidden)\n",
+		d.AvgDiffBytes, d.AvgMergedBytes, d.MergedPct, d.CreateCycles, d.HiddenPct)
+	fmt.Printf("traffic: %d messages, %.1f MB; %d page fetches, %d diff fetches, %d update pushes (%d wasted)\n",
+		run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent }),
+		float64(run.Sum(func(p *stats.Proc) uint64 { return p.BytesSent }))/1e6,
+		run.Sum(func(p *stats.Proc) uint64 { return p.PageFetches }),
+		run.Sum(func(p *stats.Proc) uint64 { return p.DiffRequests }),
+		run.Sum(func(p *stats.Proc) uint64 { return p.UpdatesPushed }),
+		run.Sum(func(p *stats.Proc) uint64 { return p.UselessUpdates }))
+
+	if *perProc {
+		fmt.Println("\nper-processor breakdown (cycles):")
+		for i := range run.Procs {
+			b := run.Procs[i].Breakdown
+			fmt.Printf("  p%-2d", i)
+			for cat := stats.Category(0); cat < stats.NumCategories; cat++ {
+				fmt.Printf("  %s %12d", cat, b[cat])
+			}
+			fmt.Println()
+		}
+	}
+}

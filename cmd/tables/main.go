@@ -1,0 +1,71 @@
+// Command tables regenerates the tables and figures of the AEC paper's
+// evaluation section (Tables 1-4, Figures 3-6, plus the Ns robustness
+// sweep of §5.1) by running the full application suite under AEC,
+// AEC-without-LAP and TreadMarks on the simulated testbed.
+//
+// Usage:
+//
+//	tables                 # everything, paper problem sizes
+//	tables -scale 0.25     # everything, quarter-size problems
+//	tables -table 3        # just Table 3 (LAP success rates)
+//	tables -figure 5       # just Figure 5 (TM vs AEC, barrier apps)
+//	tables -table ns       # the Ns=1..3 sweep
+//	tables -table robustness  # LAP rates under AEC vs TreadMarks (§5.1)
+//	tables -table munin    # LAP restricting Munin's update traffic (§1)
+//	tables -table overview # all seven protocols, normalized runtimes
+//	tables -table speedup  # scalability sweep 1-32 processors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aecdsm"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
+		table  = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or ns")
+		figure = flag.String("figure", "", "regenerate one figure: 3, 4, 5 or 6")
+	)
+	flag.Parse()
+
+	e := aecdsm.NewExperiments(*scale)
+	w := os.Stdout
+
+	switch {
+	case *table == "" && *figure == "":
+		e.All(w)
+	case *table == "1":
+		e.Table1(w)
+	case *table == "2":
+		e.Table2(w)
+	case *table == "3":
+		e.Table3(w)
+	case *table == "4":
+		e.Table4(w)
+	case *table == "ns":
+		e.NsSweep(w)
+	case *table == "robustness":
+		e.LAPRobustness(w)
+	case *table == "munin":
+		e.MuninTraffic(w)
+	case *table == "overview":
+		e.ProtocolsOverview(w)
+	case *table == "speedup":
+		e.Speedup(w, "Ocean")
+	case *figure == "3":
+		e.Figure3(w)
+	case *figure == "4":
+		e.Figure4(w)
+	case *figure == "5":
+		e.Figure5(w)
+	case *figure == "6":
+		e.Figure6(w)
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown selection -table=%q -figure=%q\n", *table, *figure)
+		os.Exit(2)
+	}
+}

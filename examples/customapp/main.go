@@ -1,0 +1,84 @@
+// Customapp shows how to write your own SPMD program against the DSM
+// context API and run it under any of the protocols. The program is a
+// token-passing ring: each processor increments a shared token under the
+// ring's lock and hands it to its neighbor — a pure lock-migration
+// workload where AEC's Lock Acquirer Prediction shines (the next acquirer
+// is perfectly predictable from the transfer history).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aecdsm"
+	"aecdsm/internal/mem"
+)
+
+// ring implements aecdsm.Program (see proto.Program).
+type ring struct {
+	laps  int
+	token mem.Addr
+	turn  mem.Addr
+	err   error
+	n     int
+}
+
+func (r *ring) Name() string  { return "token-ring" }
+func (r *ring) NumLocks() int { return 1 }
+func (r *ring) Err() error    { return r.err }
+
+// Init lays out shared memory before the simulation starts.
+func (r *ring) Init(s *mem.Space, nprocs int) {
+	r.n = nprocs
+	r.token = s.Alloc("ring.token", 8, 0)
+	r.turn = s.Alloc("ring.turn", 8, 0)
+}
+
+// Body runs on every simulated processor.
+func (r *ring) Body(c *aecdsm.Ctx) {
+	c.Barrier()
+	for lap := 0; lap < r.laps; lap++ {
+		for {
+			// Tell the lock manager we will want the lock soon (the
+			// LAP virtual queue hint a compiler would insert).
+			c.Notice(0)
+			c.Acquire(0)
+			turn := c.ReadI64(r.turn)
+			mine := int(turn)%r.n == c.ID
+			if mine {
+				c.WriteI64(r.token, c.ReadI64(r.token)+1)
+				c.WriteI64(r.turn, turn+1)
+			}
+			c.Release(0)
+			if mine {
+				break
+			}
+			c.Compute(500) // back off before retrying
+		}
+		c.Compute(2000) // private work between turns
+	}
+	c.Barrier()
+	if c.ID == 0 {
+		got := c.ReadI64(r.token)
+		want := int64(r.laps * r.n)
+		if got != want {
+			r.err = fmt.Errorf("token = %d, want %d", got, want)
+		}
+	}
+	c.Barrier()
+}
+
+func main() {
+	for _, protocol := range []string{"AEC", "AEC-noLAP", "TM"} {
+		app := &ring{laps: 8}
+		res, err := aecdsm.RunProgram(aecdsm.DefaultParams(), protocol, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12d cycles, %5d lock acquires\n",
+			protocol, res.Run.Cycles, res.Run.LockAcquires())
+	}
+	fmt.Println("\nthe ring hands the lock around in a fixed order, so AEC's")
+	fmt.Println("affinity + virtual-queue prediction pushes each update to the")
+	fmt.Println("next holder before it even asks.")
+}

@@ -1,0 +1,51 @@
+// Lockpipeline demonstrates Lock Acquirer Prediction on the workload it
+// was designed for: critical sections that migrate between processors in a
+// stable pattern. It runs Water-nsquared (per-molecule locks, the paper's
+// LAP showcase) under AEC with update-set sizes 1-3 and under AEC without
+// LAP, printing the prediction accuracy and the resulting speedups — the
+// data behind Table 3, Figure 4 and the §5.1 Ns robustness study.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"aecdsm"
+	"aecdsm/internal/stats"
+)
+
+func main() {
+	const app = "Water-ns"
+	const scale = 0.25
+
+	base, err := aecdsm.Run(aecdsm.Config{App: app, Protocol: "AEC-noLAP", Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s under AEC without LAP: %12d cycles (baseline)\n", app, base.Run.Cycles)
+
+	for ns := 1; ns <= 3; ns++ {
+		res, err := aecdsm.Run(aecdsm.Config{App: app, Protocol: "AEC", Scale: scale, Ns: ns})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pushed := res.Run.Sum(func(p *stats.Proc) uint64 { return p.UpdatesPushed })
+		wasted := res.Run.Sum(func(p *stats.Proc) uint64 { return p.UselessUpdates })
+		fmt.Printf("%s under AEC, Ns=%d:      %12d cycles (%+.1f%%), %d update pushes, %.1f%% wasted\n",
+			app, ns, res.Run.Cycles,
+			100*(float64(res.Run.Cycles)/float64(base.Run.Cycles)-1),
+			pushed, 100*float64(wasted)/float64(max64(pushed, 1)))
+	}
+
+	fmt.Println("\nLAP success rates per lock group (Ns=2):")
+	e := aecdsm.NewExperiments(scale)
+	e.Table3(os.Stdout)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

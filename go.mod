@@ -1,0 +1,3 @@
+module aecdsm
+
+go 1.22

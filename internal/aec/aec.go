@@ -1,0 +1,335 @@
+// Package aec implements the Affinity Entry Consistency protocol — the
+// primary contribution of the paper. AEC is an Entry Consistency-based,
+// page-granularity, software-only DSM that:
+//
+//   - automatically associates the data modified inside a critical section
+//     with the lock delimiting it (no explicit bindings);
+//   - generates diffs eagerly and hides their creation/application behind
+//     synchronization delays (manager processing, lock waits, barrier
+//     waits);
+//   - uses Lock Acquirer Prediction (LAP) to push merged diffs to the
+//     predicted next acquirer of a lock at release time, before it asks;
+//   - keeps barrier-protected (outside-of-CS) data coherent with
+//     invalidations driven by write notices, with per-step home nodes.
+//
+// Setting Options.UseLAP to false yields the paper's "AEC without LAP"
+// ablation (Figures 3 and 4): no update pushes, all CS diff transfers
+// happen lazily at access faults.
+package aec
+
+import (
+	"fmt"
+	"sort"
+
+	"aecdsm/internal/lap"
+
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Message kinds.
+const (
+	kAcqReq = iota
+	kAcqGrant
+	kRel
+	kPush
+	kDiffReq
+	kDiffRep
+	kPageReq
+	kPageRep
+	kWNDiffReq
+	kWNDiffRep
+	kNotice
+	kBarArrive
+	kBarInstr
+	kBarDiff
+	kBarWN
+	kBarReady
+	kBarComplete
+)
+
+// Options configures an AEC instance.
+type Options struct {
+	// UseLAP enables Lock Acquirer Prediction and eager update pushes.
+	UseLAP bool
+	// Ns is the update set size (the paper evaluates 1-3; 2 is best).
+	Ns int
+
+	// Ablation switches (all false in the paper's protocol):
+
+	// LazyBarrierDiffs disables eager outside-diff creation during the
+	// barrier wait; every outside diff is created on demand, on the
+	// writer's critical path (quantifies §5.3's hiding benefit).
+	LazyBarrierDiffs bool
+	// NoAcquireOverlap disables the acquire-time overlap window (apply
+	// pushed diffs / create outside diffs while waiting for the grant).
+	NoAcquireOverlap bool
+	// AffinityFactor overrides LAP's affinity-set threshold multiplier
+	// (0 = the paper's 1.6; the §2.1 footnote's sensitivity study).
+	AffinityFactor float64
+}
+
+// DefaultOptions returns the paper's configuration: LAP on, Ns=2.
+func DefaultOptions() Options { return Options{UseLAP: true, Ns: 2} }
+
+// AEC is the protocol instance shared by all processors of one run.
+type AEC struct {
+	opt Options
+
+	e    *sim.Engine
+	s    *mem.Space
+	ctxs []*proto.Ctx
+	ps   []*procState
+
+	locks []*lockState
+	bar   barrierState
+
+	nprocs   int
+	pageSize int
+	numLocks int
+}
+
+// New builds an AEC protocol with the given options.
+func New(opt Options) *AEC {
+	if opt.Ns <= 0 {
+		opt.Ns = 2
+	}
+	return &AEC{opt: opt, numLocks: 1}
+}
+
+// Name implements proto.Protocol.
+func (pr *AEC) Name() string {
+	if !pr.opt.UseLAP {
+		return "AEC-noLAP"
+	}
+	return "AEC"
+}
+
+// SetNumLocks implements proto.NumLocksProvider.
+func (pr *AEC) SetNumLocks(n int) {
+	if n > pr.numLocks {
+		pr.numLocks = n
+	}
+}
+
+// Options returns the configuration.
+func (pr *AEC) Options() Options { return pr.opt }
+
+// NumLocks returns the number of lock variables managed.
+func (pr *AEC) NumLocks() int { return len(pr.locks) }
+
+// LockLAP returns the LAP prediction statistics of one lock variable
+// (Table 3 of the paper).
+func (pr *AEC) LockLAP(lock int) lap.Stats {
+	return pr.locks[lock].pred.Stats
+}
+
+// Attach implements proto.Protocol.
+func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
+	if len(ctxs) > 32 {
+		panic("aec: barrier copysets support at most 32 processors")
+	}
+	pr.e = e
+	pr.s = s
+	pr.ctxs = ctxs
+	pr.nprocs = len(ctxs)
+	pr.pageSize = s.PageSize()
+	pages := s.Pages()
+	pr.ps = make([]*procState, pr.nprocs)
+	for i := range pr.ps {
+		pr.ps[i] = newProcState(i, pages, s)
+	}
+	pr.locks = make([]*lockState, pr.numLocks)
+	nsz := pr.opt.Ns
+	if !pr.opt.UseLAP {
+		nsz = 1 // predictor still sized, but never consulted for pushes
+	}
+	for i := range pr.locks {
+		pr.locks[i] = newLockState(pr.nprocs, nsz)
+		if pr.opt.AffinityFactor > 0 {
+			pr.locks[i].pred.SetAffinityFactor(pr.opt.AffinityFactor)
+		}
+	}
+	pr.bar = barrierState{
+		arrivals: make([]*arriveMsg, pr.nprocs),
+		copyset:  make([]uint32, pages),
+		homes:    make([]int, pages),
+	}
+	for pg := range pr.bar.copyset {
+		home := s.InitHome(pg)
+		pr.bar.copyset[pg] = 1 << uint(home)
+		pr.bar.homes[pg] = home
+	}
+}
+
+// DebugPage and DebugProc, when >= 0, trace every mutation of that
+// processor's copy of that page to stdout (test instrumentation).
+var (
+	DebugPage = -1
+	DebugProc = -1
+	// DebugLocks traces lock protocol events to stdout.
+	DebugLocks = false
+)
+
+func (pr *AEC) lockf(format string, args ...any) {
+	if DebugLocks {
+		fmt.Printf("[aec t%d] "+format+"\n", append([]any{pr.e.Now()}, args...)...)
+	}
+}
+
+func (pr *AEC) debugf(proc, page int, format string, args ...any) {
+	if page == DebugPage && proc == DebugProc {
+		fmt.Printf("[aec p%d pg%d t%d] "+format+"\n",
+			append([]any{proc, page, pr.e.Now()}, args...)...)
+	}
+}
+
+// mgrOf returns the managing processor of a lock (distributed, as in the
+// paper's lock managers).
+func (pr *AEC) mgrOf(lock int) int { return lock % pr.nprocs }
+
+// barMgr is the barrier manager's processor.
+const barMgr = 0
+
+// Done implements proto.Protocol.
+func (pr *AEC) Done(c *proto.Ctx) {}
+
+// Notice implements proto.Protocol: sends an acquire notice to the lock
+// manager, feeding the LAP virtual queue.
+func (pr *AEC) Notice(c *proto.Ctx, lock int) {
+	if !pr.opt.UseLAP {
+		return
+	}
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kNotice, 8, lock,
+		func(s *sim.Svc, m *sim.Msg) {
+			s.ChargeList(1)
+			pr.locks[m.Payload.(int)].pred.Notice(m.From)
+		})
+}
+
+// merge2 merges two diffs of one page (either may be nil).
+func (pr *AEC) merge2(a, b *mem.Diff) *mem.Diff {
+	return mem.MergeDiffs(pr.pageSize, a, b)
+}
+
+// archiveOutside stores a finalized outside diff for (page, step).
+func (st *procState) archiveOutside(pr *AEC, page, step int, d *mem.Diff) {
+	if d == nil {
+		return
+	}
+	m := st.diffStore[page]
+	if m == nil {
+		m = make(map[int]*mem.Diff)
+		st.diffStore[page] = m
+	}
+	if prev := m[step]; prev != nil {
+		d = pr.merge2(prev, d)
+	}
+	m[step] = d
+}
+
+// chargeDiffCreate charges the processor-side cost of creating a diff for
+// one page (scan of the whole page plus memory traffic for the modified
+// words) and records Table 4 statistics. hidden marks work overlapped with
+// a synchronization stall.
+func (pr *AEC) chargeDiffCreate(c *proto.Ctx, d *mem.Diff, cat stats.Category, hidden bool) {
+	pp := &pr.e.Params
+	cost := pp.DiffCycles(pr.pageSize)
+	dataBytes := 0
+	if d != nil {
+		dataBytes = d.DataBytes()
+	}
+	cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize+dataBytes))
+	c.P.Stats.DiffCreateCycles += cost
+	if hidden {
+		c.P.Stats.DiffCreateHidden += cost
+	}
+	if d != nil {
+		c.P.Stats.DiffsCreated++
+		c.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+	}
+	c.P.Advance(cost, cat)
+}
+
+// chargeDiffApply charges applying a diff to a local page.
+func (pr *AEC) chargeDiffApply(c *proto.Ctx, d *mem.Diff, cat stats.Category, hidden bool) {
+	if d == nil {
+		return
+	}
+	pp := &pr.e.Params
+	cost := pp.DiffCycles(d.DataBytes())
+	cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(d.DataBytes()))
+	c.P.Stats.DiffApplyCycles += cost
+	if hidden {
+		c.P.Stats.DiffApplyHidden += cost
+	}
+	c.P.Stats.DiffsApplied++
+	c.P.Stats.DiffBytesApplied += uint64(d.DataBytes())
+	c.P.Advance(cost, cat)
+}
+
+// applyDiffData patches a diff into the local frame and invalidates the
+// affected cache lines (data changed under the processor's feet).
+func (pr *AEC) applyDiffData(c *proto.Ctx, d *mem.Diff) {
+	pr.debugf(c.ID, d.Page, "applyDiffData runs=%d bytes=%d covers8=%v", len(d.Runs), d.DataBytes(), d.Covers(8))
+	f := c.M.Frame(d.Page)
+	d.Apply(f.Data)
+	base := pr.s.PageBase(d.Page)
+	for _, r := range d.Runs {
+		c.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+	}
+}
+
+// chargeTwin charges making a twin of one page.
+func (pr *AEC) chargeTwin(c *proto.Ctx, cat stats.Category) {
+	pp := &pr.e.Params
+	cost := pp.TwinCycles(pr.pageSize)
+	cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize))
+	c.P.Stats.TwinCycles += cost
+	c.P.Advance(cost, cat)
+}
+
+// writeProtect forces the next write to this frame to trap.
+func writeProtect(f *mem.Frame) { f.WriteEpoch = 0 }
+
+// sortedPages returns the keys of a page set in deterministic order.
+func sortedPages(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for pg := range set {
+		out = append(out, pg)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedDiffPages returns the keys of a page->diff map in order.
+func sortedDiffPages(m map[int]*mem.Diff) []int {
+	out := make([]int, 0, len(m))
+	for pg := range m {
+		out = append(out, pg)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (pr *AEC) String() string {
+	return fmt.Sprintf("%s(Ns=%d)", pr.Name(), pr.opt.Ns)
+}
+
+// DumpState prints the lock manager and per-processor wait state; used by
+// tests to diagnose deadlocks.
+func (pr *AEC) DumpState() {
+	for i, l := range pr.locks {
+		if l.held || l.pred.QueueLen() > 0 {
+			fmt.Printf("lock %d: held=%v holder=%d queue=%d lastRel=%d lastCount=%d cum=%d\n",
+				i, l.held, l.holder, l.pred.QueueLen(), l.lastReleaser, l.lastCount, len(l.cumPages))
+		}
+	}
+	for _, st := range pr.ps {
+		fmt.Printf("p%d: step=%d inCS=%d curLock=%d grant=%v recvLocks=%d blocked=%v wait=%q\n",
+			st.id, st.step, st.inCS, st.curLock, st.grant != nil, len(st.recv),
+			pr.ctxs[st.id].P.Blocked(), pr.ctxs[st.id].P.WaitTag)
+	}
+}

@@ -1,0 +1,461 @@
+package aec
+
+import (
+	"sort"
+
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Barrier implements the step-based global barrier of §3.3: each arriving
+// processor ships its per-step lists to the barrier manager, overlaps
+// outside-diff creation with the wait, then exchanges diffs and write
+// notices as instructed by the manager before departing into a new step.
+func (pr *AEC) Barrier(c *proto.Ctx) {
+	st := pr.ps[c.ID]
+	if st.inCS > 0 {
+		panic("aec: barrier reached while holding a lock")
+	}
+
+	// Build the arrival lists.
+	var owned []ownedLock
+	lockIDs := make([]int, 0, len(st.myMerged))
+	for lock := range st.myMerged {
+		lockIDs = append(lockIDs, lock)
+	}
+	sort.Ints(lockIDs)
+	elems := 0
+	for _, lock := range lockIDs {
+		pages := sortedDiffPages(st.myMerged[lock])
+		if len(pages) == 0 {
+			continue
+		}
+		owned = append(owned, ownedLock{lock: lock, count: st.lockMyCount[lock], pages: pages})
+		elems += 1 + len(pages)
+	}
+	var outside []int
+	for _, pg := range sortedPages(st.dirtyOutside) {
+		if st.twinStep[pg] == st.step {
+			outside = append(outside, pg)
+		}
+	}
+	newValid := sortedPages(st.newValid)
+	elems += len(outside) + len(newValid)
+	c.P.Advance(pr.e.Params.ListCycles(elems), stats.Synch)
+
+	st.barInstr = nil
+	st.barComplete = false
+	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 16+8*elems,
+		&arriveMsg{proc: c.ID, owned: owned, outside: outside, newValid: newValid},
+		pr.handleBarArrive)
+
+	// Overlap outside-diff creation with the barrier wait (§3.3): only
+	// pages some other processor has requested before are worth diffing
+	// eagerly; the rest stay lazy.
+	for st.barInstr == nil && !pr.opt.LazyBarrierDiffs {
+		if !pr.barrierOverlapUnit(c, st) {
+			break
+		}
+	}
+	if st.barInstr == nil {
+		c.P.WaitTag = "barinstr"
+		c.P.WaitUntil(func() bool { return st.barInstr != nil }, stats.Synch)
+	}
+	instr := st.barInstr
+	st.barInstr = nil
+
+	// Home reassignments first, so faults after the barrier go to the
+	// right place.
+	for _, h := range instr.homes {
+		st.homes[h.page] = h.home
+	}
+	for _, pg := range instr.sharedPages {
+		st.sharedHint[pg] = true
+	}
+
+	// Send merged CS diffs and write notices as instructed.
+	for _, ds := range instr.diffSends {
+		d := st.myMerged[ds.lock][ds.page]
+		if d == nil {
+			continue
+		}
+		for _, q := range ds.targets {
+			pr.e.SendFrom(c.P, stats.Synch, q, kBarDiff, d.EncodedBytes(),
+				barDiffMsg{page: ds.page, lock: ds.lock, diff: d}, pr.handleBarDiff)
+		}
+	}
+	for _, ws := range instr.wnSends {
+		for _, q := range ws.targets {
+			c.P.Stats.WriteNoticesSent++
+			pr.e.SendFrom(c.P, stats.Synch, q, kBarWN, 16,
+				barWNMsg{wn: mem.WriteNotice{Page: ws.page, Writer: c.ID, Step: st.step}},
+				pr.handleBarWN)
+		}
+	}
+
+	// Wait until everything addressed to us has arrived, then report
+	// ready and wait for global completion.
+	c.P.WaitTag = "barexchange"
+	c.P.WaitUntil(func() bool {
+		return st.barDiffsGot >= instr.expDiffs && st.barWNsGot >= instr.expWNs
+	}, stats.Synch)
+	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarReady, 8, c.ID, pr.handleBarReady)
+	c.P.WaitTag = "barcomplete"
+	c.P.WaitUntil(func() bool { return st.barComplete }, stats.Synch)
+
+	pr.finalizeStep(c, st)
+}
+
+// barrierOverlapUnit creates one eager outside diff; reports whether any
+// work was done.
+func (pr *AEC) barrierOverlapUnit(c *proto.Ctx, st *procState) bool {
+	for _, pg := range sortedPages(st.dirtyOutside) {
+		if !st.reqSeen[pg] && !st.sharedHint[pg] {
+			continue
+		}
+		pr.makeOutsideDiff(c, st, pg, stats.Synch, true)
+		return true
+	}
+	return false
+}
+
+// makeOutsideDiff finalizes the outside diff of a dirty page for its twin
+// step, archiving it for later write-notice fetches. The page's twin is
+// released and the page write-protected (next write re-twins in the new
+// step).
+func (pr *AEC) makeOutsideDiff(c *proto.Ctx, st *procState, pg int, cat stats.Category, hidden bool) {
+	f := c.M.Frame(pg)
+	if f.Twin == nil {
+		delete(st.dirtyOutside, pg)
+		return
+	}
+	d := mem.MakeDiff(pg, f.Twin, f.Data, pr.e.Params.WordBytes)
+	pr.chargeDiffCreate(c, d, cat, hidden)
+	d = pr.merge2(st.outsideDiff[pg], d)
+	st.archiveOutside(pr, pg, st.twinStep[pg], d)
+	delete(st.outsideDiff, pg)
+	delete(st.dirtyOutside, pg)
+	delete(st.twinStep, pg)
+	c.M.DropTwin(pg)
+	writeProtect(f)
+}
+
+// lazyOutsideDiff is the service-context version used when a write-notice
+// diff request arrives for a page that was never eagerly diffed; the cost
+// lands on the servicing (writer) node.
+func (pr *AEC) lazyOutsideDiff(s *sim.Svc, st *procState, pg int) {
+	ctx := pr.ctxs[st.id]
+	f := ctx.M.Frame(pg)
+	if f.Twin == nil {
+		return
+	}
+	pp := &pr.e.Params
+	d := mem.MakeDiff(pg, f.Twin, f.Data, pp.WordBytes)
+	cost := pp.DiffCycles(pr.pageSize)
+	s.Charge(cost)
+	s.ChargeMem(pr.pageSize)
+	ctx.P.Stats.DiffCreateCycles += cost
+	if d != nil {
+		ctx.P.Stats.DiffsCreated++
+		ctx.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+	}
+	d = pr.merge2(st.outsideDiff[pg], d)
+	st.archiveOutside(pr, pg, st.twinStep[pg], d)
+	delete(st.outsideDiff, pg)
+	delete(st.dirtyOutside, pg)
+	delete(st.twinStep, pg)
+	ctx.M.DropTwin(pg)
+	writeProtect(f)
+}
+
+// handleBarArrive collects arrival lists at the barrier manager and, when
+// the last processor arrives, computes and distributes the exchange
+// instructions.
+func (pr *AEC) handleBarArrive(s *sim.Svc, m *sim.Msg) {
+	a := m.Payload.(*arriveMsg)
+	b := &pr.bar
+	b.arrivals[a.proc] = a
+	b.got++
+	elems := len(a.outside) + len(a.newValid)
+	for _, o := range a.owned {
+		elems += 1 + len(o.pages)
+	}
+	s.ChargeList(elems)
+	if b.got < pr.nprocs {
+		return
+	}
+	pr.computeBarrierInstructions(s)
+}
+
+// computeBarrierInstructions is the barrier manager's core: determine, for
+// every processor, the diffs and write notices it must send (only to
+// processors holding valid copies), pick per-page homes, and send each
+// processor its instructions.
+func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
+	b := &pr.bar
+	instr := make([]*barInstr, pr.nprocs)
+	for i := range instr {
+		instr[i] = &barInstr{}
+	}
+
+	// Fold newly-valid pages into the copyset.
+	for _, a := range b.arrivals {
+		bit := uint32(1) << uint(a.proc)
+		for _, pg := range a.newValid {
+			b.copyset[pg] |= bit
+		}
+	}
+
+	// Last owner per lock: highest acquire counter wins.
+	type ownerRec struct {
+		proc, count int
+		pages       []int
+	}
+	owners := map[int]ownerRec{}
+	lockIDs := []int{}
+	for _, a := range b.arrivals {
+		for _, o := range a.owned {
+			if cur, ok := owners[o.lock]; !ok || o.count > cur.count {
+				if !ok {
+					lockIDs = append(lockIDs, o.lock)
+				}
+				owners[o.lock] = ownerRec{proc: a.proc, count: o.count, pages: o.pages}
+			}
+		}
+	}
+	sort.Ints(lockIDs)
+
+	// Track pages touched this step for home reassignment.
+	touched := map[int]bool{}
+	csOwner := map[int]int{}   // page -> CS last owner
+	writers := map[int][]int{} // page -> outside writers (sorted by arrival order = proc id)
+
+	work := 0
+	// CS diffs: last owner sends to every other valid-copy holder.
+	for _, lock := range lockIDs {
+		rec := owners[lock]
+		for _, pg := range rec.pages {
+			touched[pg] = true
+			csOwner[pg] = rec.proc
+			var targets []int
+			mask := b.copyset[pg] &^ (1 << uint(rec.proc))
+			for q := 0; q < pr.nprocs; q++ {
+				if mask&(1<<uint(q)) != 0 {
+					targets = append(targets, q)
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			instr[rec.proc].diffSends = append(instr[rec.proc].diffSends,
+				sendDiffInstr{page: pg, lock: lock, targets: targets})
+			for _, q := range targets {
+				instr[q].expDiffs++
+			}
+			work += len(targets)
+		}
+	}
+
+	// Write notices: each outside writer notifies valid-copy holders.
+	invalidated := map[int]uint32{} // page -> bits losing their copy
+	for pnum := 0; pnum < pr.nprocs; pnum++ {
+		a := b.arrivals[pnum]
+		for _, pg := range a.outside {
+			touched[pg] = true
+			writers[pg] = append(writers[pg], pnum)
+			mask := b.copyset[pg] &^ (1 << uint(pnum))
+			var targets []int
+			for q := 0; q < pr.nprocs; q++ {
+				if mask&(1<<uint(q)) != 0 {
+					targets = append(targets, q)
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			instr[pnum].wnSends = append(instr[pnum].wnSends,
+				sendWNInstr{page: pg, targets: targets})
+			instr[pnum].sharedPages = append(instr[pnum].sharedPages, pg)
+			for _, q := range targets {
+				instr[q].expWNs++
+			}
+			invalidated[pg] |= mask
+			work += len(targets)
+		}
+	}
+
+	// Home reassignment: a processor guaranteed current after this
+	// barrier. Preference: CS owner, then lowest-id outside writer, then
+	// lowest-id surviving copy holder.
+	pages := make([]int, 0, len(touched))
+	for pg := range touched {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	var homes []homeAssign
+	for _, pg := range pages {
+		surviving := b.copyset[pg] &^ invalidated[pg]
+		// Writers never lose their own copy.
+		for _, w := range writers[pg] {
+			surviving |= 1 << uint(w)
+		}
+		b.copyset[pg] = surviving
+		home := -1
+		if o, ok := csOwner[pg]; ok && len(writers[pg]) == 0 {
+			home = o
+		} else if ws := writers[pg]; len(ws) > 0 {
+			home = ws[0]
+		} else {
+			for q := 0; q < pr.nprocs; q++ {
+				if surviving&(1<<uint(q)) != 0 {
+					home = q
+					break
+				}
+			}
+		}
+		if home >= 0 && home != b.homes[pg] {
+			b.homes[pg] = home
+		}
+		homes = append(homes, homeAssign{page: pg, home: b.homes[pg]})
+	}
+	s.ChargeList(work + len(pages))
+
+	// Reset the per-lock diff chains: the barrier makes everyone
+	// coherent, so lock histories restart (affinity history persists).
+	// The step sequence advances with the reset so that in-flight release
+	// messages from the finished step are recognized as stale.
+	b.seq++
+	for _, l := range pr.locks {
+		l.cumPages = nil
+		l.lastUS = nil
+	}
+
+	// Distribute instructions.
+	for q := 0; q < pr.nprocs; q++ {
+		in := instr[q]
+		in.homes = homes
+		size := 16 + 8*(len(in.diffSends)+len(in.wnSends)+len(homes))
+		pr.sendFromSvc(s, q, kBarInstr, size, in, pr.handleBarInstr)
+	}
+}
+
+// sendFromSvc sends from the manager's service context.
+func (pr *AEC) sendFromSvc(s *sim.Svc, to, kind, size int, payload any, h sim.Handler) {
+	s.Send(to, kind, size, payload, h)
+}
+
+// handleBarInstr lands the manager's instructions at a processor.
+func (pr *AEC) handleBarInstr(s *sim.Svc, m *sim.Msg) {
+	st := pr.ps[m.To]
+	in := m.Payload.(*barInstr)
+	s.ChargeList(len(in.diffSends) + len(in.wnSends))
+	st.barInstr = in
+	s.Wake(s.P)
+}
+
+// handleBarDiff applies a merged CS diff pushed during the barrier
+// exchange. The receiver is blocked at the barrier, so the application
+// cost is overlapped (hidden) by construction.
+func (pr *AEC) handleBarDiff(s *sim.Svc, m *sim.Msg) {
+	bd := m.Payload.(barDiffMsg)
+	st := pr.ps[m.To]
+	ctx := pr.ctxs[m.To]
+	pp := &pr.e.Params
+	f := ctx.M.Frame(bd.page)
+	pr.debugf(m.To, bd.page, "barDiff from %d lock %d valid=%v", m.From, bd.lock, f.Valid)
+	if f.Valid {
+		cost := pp.DiffCycles(bd.diff.DataBytes())
+		s.Charge(cost)
+		s.ChargeMem(bd.diff.DataBytes())
+		ctx.P.Stats.DiffApplyCycles += cost
+		ctx.P.Stats.DiffApplyHidden += cost
+		ctx.P.Stats.DiffsApplied++
+		ctx.P.Stats.DiffBytesApplied += uint64(bd.diff.DataBytes())
+		bd.diff.Apply(f.Data)
+		base := pr.s.PageBase(bd.page)
+		for _, r := range bd.diff.Runs {
+			ctx.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+		}
+	}
+	st.barDiffsGot++
+	s.Wake(s.P)
+}
+
+// handleBarWN invalidates a page on receipt of a write notice.
+func (pr *AEC) handleBarWN(s *sim.Svc, m *sim.Msg) {
+	w := m.Payload.(barWNMsg)
+	st := pr.ps[m.To]
+	ctx := pr.ctxs[m.To]
+	s.ChargeList(1)
+	ctx.P.Stats.WriteNoticesReceived++
+	f := ctx.M.Peek(w.wn.Page)
+	if f.Valid {
+		ctx.M.Invalidate(w.wn.Page)
+		ctx.P.Stats.Invalidations++
+	}
+	st.reason[w.wn.Page] = invalWN
+	st.pendingWN[w.wn.Page] = append(st.pendingWN[w.wn.Page], w.wn)
+	st.barWNsGot++
+	s.Wake(s.P)
+}
+
+// handleBarReady counts ready processors at the manager and broadcasts
+// completion when everyone is done exchanging.
+func (pr *AEC) handleBarReady(s *sim.Svc, m *sim.Msg) {
+	b := &pr.bar
+	b.ready++
+	s.ChargeList(1)
+	if b.ready < pr.nprocs {
+		return
+	}
+	// Episode over: reset manager state and release everyone.
+	b.got = 0
+	b.ready = 0
+	for i := range b.arrivals {
+		b.arrivals[i] = nil
+	}
+	for q := 0; q < pr.nprocs; q++ {
+		pr.sendFromSvc(s, q, kBarComplete, 8, b.seq, pr.handleBarComplete)
+	}
+}
+
+// handleBarComplete releases a processor from the barrier.
+func (pr *AEC) handleBarComplete(s *sim.Svc, m *sim.Msg) {
+	st := pr.ps[m.To]
+	st.barComplete = true
+	s.Wake(s.P)
+}
+
+// finalizeStep moves a processor into the next barrier step.
+func (pr *AEC) finalizeStep(c *proto.Ctx, st *procState) {
+	// Re-protect pages that a release left writable: the first write of
+	// the new step must trap so the previous step's accumulated diff is
+	// archived, the twin renewed, and the page reported in the next
+	// barrier's outside list. Without this, writes go silent across the
+	// step boundary and their write notices are never generated.
+	for pg := range st.dirtyOutside {
+		if f := c.M.Peek(pg); f.Data != nil {
+			writeProtect(f)
+		}
+	}
+	st.step++
+	st.accessedPrev = st.accessedCur
+	st.accessedCur = make(map[int]bool)
+	st.newValid = make(map[int]bool)
+	st.barDiffsGot = 0
+	st.barWNsGot = 0
+	for lock, buf := range st.recv {
+		if buf.step >= st.step {
+			continue // push from the step we are entering; keep it
+		}
+		c.P.Stats.UselessUpdates += uint64(len(buf.diffs))
+		delete(st.recv, lock)
+	}
+	st.myMerged = make(map[int]map[int]*mem.Diff)
+	st.inherited = make(map[int]map[int]*mem.Diff)
+	st.lockPages = make(map[int][]int)
+	st.lockUS = make(map[int][]int)
+	c.Epoch++
+}

@@ -1,0 +1,300 @@
+package aec
+
+import (
+	"fmt"
+	"sort"
+
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Fault implements the access-fault protocol of §3.4. On entry the page is
+// either invalid or (for writes) lacks write permission in the current
+// epoch; on exit it is readable and, when requested, writable with a twin
+// in place for later diffing.
+func (pr *AEC) Fault(c *proto.Ctx, page int, write bool) {
+	pr.debugf(c.ID, page, "FAULT write=%v valid=%v reason=%v inCS=%d", write, c.M.Peek(page).Valid, pr.ps[c.ID].reason[page], pr.ps[c.ID].inCS)
+	st := pr.ps[c.ID]
+	f := c.M.Frame(page)
+
+	if !f.Valid {
+		pr.validateFault(c, st, page, f)
+	}
+
+	if write {
+		pr.writeFault(c, st, page, f)
+	}
+	st.accessedCur[page] = true
+}
+
+// validateFault brings an invalid page back to a valid state.
+func (pr *AEC) validateFault(c *proto.Ctx, st *procState, page int, f *mem.Frame) {
+	// The paper's §3.4 rule: a processor that did not access the page on
+	// the previous (or current) step cannot reconstruct it independently
+	// — its pending write notices may be incomplete, since only valid-
+	// copy holders receive notices. It must ask the page's home for a
+	// base copy, which arrives together with the home's own pending
+	// write notices and supersedes any stale local ones.
+	needBase := !f.EverValid ||
+		(!st.accessedPrev[page] && !st.accessedCur[page])
+	if needBase {
+		pr.fetchPage(c, st, page, f)
+	}
+
+	// Inside a critical section, pages of the lock's cumulative set get
+	// the merged CS diffs: from the buffered push when we were in the
+	// update set, or fetched from the last owner otherwise.
+	if st.inCS > 0 {
+		lock := st.curLock
+		if pr.pageInChain(st, lock, page) {
+			if d := st.inherited[lock][page]; d != nil {
+				pr.chargeDiffApply(c, d, stats.Data, false)
+				pr.applyDiffData(c, d)
+			} else if owner := st.lockLastOwner[lock]; owner >= 0 && owner != c.ID {
+				diffs := pr.fetchLockDiffs(c, lock, owner, []int{page}, stats.Data)
+				for _, d := range diffs {
+					if d == nil {
+						continue
+					}
+					pr.chargeDiffApply(c, d, stats.Data, false)
+					pr.applyDiffData(c, d)
+					st.inherited[lock][d.Page] = d
+				}
+			}
+		}
+	}
+
+	// A page invalidated at a lock grant but faulted on outside that
+	// lock's critical section (Entry Consistency programs should not do
+	// this, but cold restarts after releases can): fetch the merged
+	// diffs from the lock's last owner directly.
+	if st.reason[page] == invalLock {
+		lock := st.invalLockID[page]
+		inCur := st.inCS > 0 && st.curLock == lock
+		if !inCur {
+			if owner, ok := st.lockLastOwner[lock]; ok && owner >= 0 && owner != c.ID {
+				diffs := pr.fetchLockDiffs(c, lock, owner, []int{page}, stats.Data)
+				for _, d := range diffs {
+					if d == nil {
+						continue
+					}
+					pr.chargeDiffApply(c, d, stats.Data, false)
+					pr.applyDiffData(c, d)
+				}
+			}
+		}
+	}
+
+	// Collect the outside diffs named by pending write notices.
+	if wns := st.pendingWN[page]; len(wns) > 0 {
+		pr.applyWriteNotices(c, st, page, wns)
+		delete(st.pendingWN, page)
+	}
+
+	f.Valid = true
+	f.EverValid = true
+	st.reason[page] = invalNone
+	st.newValid[page] = true
+}
+
+// pageInChain reports whether the page belongs to the lock's cumulative
+// modified set (so CS diffs exist for it).
+func (pr *AEC) pageInChain(st *procState, lock, page int) bool {
+	if _, ok := st.inherited[lock][page]; ok {
+		return true
+	}
+	for _, pg := range st.lockPages[lock] {
+		if pg == page {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchPage asks the page's home node for a base copy.
+func (pr *AEC) fetchPage(c *proto.Ctx, st *procState, page int, f *mem.Frame) {
+	home := st.homes[page]
+	if home == c.ID {
+		// We are the home: our copy is the base (degenerate case after
+		// racing reassignments); pending WNs still apply below.
+		return
+	}
+	// Preserve our own un-diffed modifications before the incoming base
+	// overwrites the frame: the home may not have applied our diff yet,
+	// in which case its notice list names us and we replay the archived
+	// diff locally.
+	if st.dirtyOutside[page] {
+		pr.makeOutsideDiff(c, st, page, stats.Data, false)
+	}
+	tk := &token{}
+	c.P.Stats.PageFetches++
+	c.P.WaitTag = fmt.Sprintf("pagereq %d home %d", page, home)
+	pr.e.SendFrom(c.P, stats.Data, home, kPageReq, 8,
+		pageReq{page: page, tk: tk, from: c.ID}, pr.handlePageReq)
+	c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
+	c.P.Stats.PageFetchBytes += uint64(len(tk.page))
+	pr.debugf(c.ID, page, "fetchPage from home %d, wns=%v", home, tk.wns)
+	// Copy the page in across the memory bus.
+	cost := c.P.MemBus.Cost(c.P.Clock, pr.e.Params.Words(pr.pageSize))
+	c.P.Advance(cost, stats.Data)
+	copy(f.Data, tk.page)
+	c.P.Cache.InvalidateRange(pr.s.PageBase(page), pr.pageSize)
+	// The fresh base supersedes any stale local write notices (their
+	// modifications are already in the home's copy); what remains to be
+	// applied is exactly the home's own unresolved notice set — which
+	// may include notices naming us, replayed from the local archive.
+	delete(st.pendingWN, page)
+	st.pendingWN[page] = append(st.pendingWN[page], tk.wns...)
+}
+
+// handlePageReq serves a page (plus pending write notices) from its home.
+func (pr *AEC) handlePageReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(pageReq)
+	st := pr.ps[m.To]
+	ctx := pr.ctxs[m.To]
+	st.reqSeen[req.page] = true
+	f := ctx.M.Frame(req.page)
+	data := make([]byte, pr.pageSize)
+	copy(data, f.Data)
+	if req.page == DebugPage && req.from == DebugProc {
+		bits := uint64(0)
+		for b := 0; b < 8; b++ {
+			bits |= uint64(data[8+b]) << (8 * b)
+		}
+		fmt.Printf("[aec serve pg%d by p%d for p%d t%d] off8=%x valid=%v wns=%d\n",
+			req.page, m.To, req.from, pr.e.Now(), bits, f.Valid, len(st.pendingWN[req.page]))
+	}
+	s.ChargeMem(pr.pageSize)
+	wns := append([]mem.WriteNotice(nil), st.pendingWN[req.page]...)
+	s.Send(m.From, kPageRep, pr.pageSize+16*len(wns), [2]any{data, wns},
+		func(s2 *sim.Svc, m2 *sim.Msg) {
+			pl := m2.Payload.([2]any)
+			req.tk.page = pl[0].([]byte)
+			req.tk.wns = pl[1].([]mem.WriteNotice)
+			req.tk.done = true
+			s2.Wake(s2.P)
+		})
+}
+
+// applyWriteNotices fetches and applies the outside diffs named by the
+// write notices pending on a page.
+func (pr *AEC) applyWriteNotices(c *proto.Ctx, st *procState, page int, wns []mem.WriteNotice) {
+	// Group requested steps by writer. Notices naming ourselves (adopted
+	// from a home that had not applied our diff yet) replay from the
+	// local archive without network traffic.
+	byWriter := map[int][]int{}
+	var own []mem.WriteNotice
+	for _, wn := range wns {
+		if wn.Writer == c.ID {
+			own = append(own, wn)
+			continue
+		}
+		byWriter[wn.Writer] = append(byWriter[wn.Writer], wn.Step)
+	}
+	writers := make([]int, 0, len(byWriter))
+	for w := range byWriter {
+		writers = append(writers, w)
+	}
+	sort.Ints(writers)
+	type fetched struct {
+		step int
+		d    *mem.Diff
+	}
+	var all []fetched
+	for _, w := range writers {
+		steps := byWriter[w]
+		sort.Ints(steps)
+		tk := &token{}
+		c.P.Stats.DiffRequests++
+		c.P.WaitTag = fmt.Sprintf("wnreq pg %d writer %d", page, w)
+		pr.e.SendFrom(c.P, stats.Data, w, kWNDiffReq, 8+8*len(steps),
+			wnDiffReq{page: page, steps: steps, tk: tk, from: c.ID}, pr.handleWNDiffReq)
+		c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
+		for i, d := range tk.diffs {
+			if d != nil && i < len(steps) {
+				all = append(all, fetched{step: steps[i], d: d})
+			}
+		}
+	}
+	for _, wn := range own {
+		if d := st.diffStore[page][wn.Step]; d != nil {
+			all = append(all, fetched{step: wn.Step, d: d})
+		}
+	}
+	// Apply in step order for cross-step correctness (same-step writers
+	// touch disjoint words in race-free programs).
+	sort.SliceStable(all, func(i, j int) bool { return all[i].step < all[j].step })
+	for _, fd := range all {
+		pr.chargeDiffApply(c, fd.d, stats.Data, false)
+		pr.applyDiffData(c, fd.d)
+	}
+}
+
+// handleWNDiffReq serves archived (or lazily created) outside diffs.
+func (pr *AEC) handleWNDiffReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(wnDiffReq)
+	st := pr.ps[m.To]
+	st.reqSeen[req.page] = true
+	s.ChargeList(len(req.steps))
+	out := make([]*mem.Diff, len(req.steps)) // aligned with req.steps
+	bytes := 0
+	for i, step := range req.steps {
+		store := st.diffStore[req.page]
+		d := store[step]
+		if d == nil && st.dirtyOutside[req.page] && st.twinStep[req.page] == step {
+			// Never eagerly diffed: create it now, on the writer's
+			// critical path (the lazy fallback).
+			pr.lazyOutsideDiff(s, st, req.page)
+			d = st.diffStore[req.page][step]
+		}
+		if d != nil {
+			out[i] = d
+			bytes += d.EncodedBytes()
+		}
+	}
+	s.Send(m.From, kWNDiffRep, bytes, out, func(s2 *sim.Svc, m2 *sim.Msg) {
+		req.tk.diffs = m2.Payload.([]*mem.Diff)
+		req.tk.done = true
+		s2.Wake(s2.P)
+	})
+}
+
+// writeFault grants write permission for the current epoch, creating the
+// twin that later diffing needs (§3.4's careful write-fault handling).
+func (pr *AEC) writeFault(c *proto.Ctx, st *procState, page int, f *mem.Frame) {
+	if st.inCS > 0 {
+		// Writing inside a critical section. If the page carries
+		// un-diffed outside modifications, their diff must be created
+		// first and the old twin eliminated, so inside and outside
+		// modifications stay separable.
+		if st.dirtyOutside[page] {
+			pr.makeOutsideDiff(c, st, page, stats.Data, false)
+		}
+		pr.chargeTwin(c, stats.Data)
+		c.M.MakeTwin(page)
+		st.dirtyInside[page] = true
+	} else {
+		// Writing outside any critical section.
+		if st.dirtyOutside[page] {
+			if st.twinStep[page] != st.step {
+				// Twin belongs to a previous step whose diff was
+				// never archived: archive it before re-twinning.
+				pr.makeOutsideDiff(c, st, page, stats.Data, false)
+				pr.chargeTwin(c, stats.Data)
+				c.M.MakeTwin(page)
+				st.dirtyOutside[page] = true
+				st.twinStep[page] = st.step
+			}
+			// Same-step re-protection (e.g. after a speculative
+			// acquire-time diff): keep accumulating on the twin.
+		} else {
+			pr.chargeTwin(c, stats.Data)
+			c.M.MakeTwin(page)
+			st.dirtyOutside[page] = true
+			st.twinStep[page] = st.step
+		}
+	}
+	f.WriteEpoch = c.Epoch
+}

@@ -1,0 +1,444 @@
+package aec
+
+import (
+	"fmt"
+
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Acquire implements the lock acquire operation of §3.2: send the
+// ownership request, then overlap diff application (pushed updates) and
+// outside-diff creation with the wait for the manager's reply.
+func (pr *AEC) Acquire(c *proto.Ctx, lock int) {
+	st := pr.ps[c.ID]
+	if st.grant != nil {
+		panic("aec: nested acquire reply outstanding")
+	}
+	pp := &pr.e.Params
+
+	pr.lockf("p%d acqreq lock %d", c.ID, lock)
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq, 8,
+		acqReq{lock: lock}, pr.handleAcqReq)
+
+	// Overlap window: apply pushed diffs for this lock to valid pages,
+	// then create outside diffs, until the grant arrives (§3.2). Work
+	// performed before the grant is hidden behind the synchronization
+	// delay (Table 4). Application status lives in the push buffer
+	// itself: a fresher push replacing the buffer must be re-applied.
+	for st.grant == nil && !pr.opt.NoAcquireOverlap {
+		if !pr.overlapUnit(c, st, lock) {
+			break
+		}
+	}
+	if st.grant == nil {
+		c.P.WaitTag = fmt.Sprintf("grant lock %d", lock)
+		c.P.WaitUntil(func() bool { return st.grant != nil }, stats.Synch)
+	}
+	g := st.grant
+	st.grant = nil
+	pr.lockf("p%d got grant lock %d lastRel=%d lastCount=%d myCount=%d inUS=%v inv=%d us=%v",
+		c.ID, lock, g.lastReleaser, g.lastCount, g.myCount, g.inUS, len(g.invPages), g.us)
+
+	st.inCS++
+	st.curLock = lock
+	st.dirtyInside = make(map[int]bool)
+	st.lockLastOwner[lock] = g.lastReleaser
+	st.lockLastCount[lock] = g.lastCount
+	st.lockPages[lock] = g.invPages
+	st.lockUS[lock] = g.us
+	st.lockMyCount[lock] = g.myCount
+
+	// Bump the write epoch so first writes inside the CS trap and twin.
+	c.Epoch++
+
+	if g.lastReleaser < 0 || g.lastReleaser == c.ID {
+		// First acquisition, or we were the last releaser ourselves:
+		// nothing to bring in; our merged chain continues.
+		if g.lastReleaser == c.ID {
+			st.inherited[lock] = st.myMerged[lock]
+		} else {
+			st.inherited[lock] = make(map[int]*mem.Diff)
+		}
+		return
+	}
+
+	buf := st.recv[lock]
+	fresh := buf != nil && buf.from == g.lastReleaser && buf.count == g.lastCount
+	if g.inUS && !fresh && len(g.invPages) > 0 {
+		// The push is still in flight (sent before the release message
+		// that triggered this grant): wait for it. An empty chain means
+		// no push was sent at all.
+		c.P.WaitTag = fmt.Sprintf("push lock %d from %d count %d", lock, g.lastReleaser, g.lastCount)
+		c.P.WaitUntil(func() bool {
+			b := st.recv[lock]
+			return b != nil && b.from == g.lastReleaser && b.count == g.lastCount
+		}, stats.Synch)
+		buf = st.recv[lock]
+		fresh = true
+	}
+	if g.inUS && len(g.invPages) == 0 {
+		// Nothing to bring in for an empty chain.
+		st.inherited[lock] = make(map[int]*mem.Diff)
+		return
+	}
+	if fresh {
+		// Continue applying the pushed diffs (now exposed): valid pages
+		// get patched; diffs for invalid pages wait for access faults.
+		st.inherited[lock] = buf.diffs
+		for _, pg := range sortedDiffPages(buf.diffs) {
+			if buf.applied[pg] {
+				continue
+			}
+			f := c.M.Peek(pg)
+			if f.Valid {
+				d := buf.diffs[pg]
+				pr.chargeDiffApply(c, d, stats.Synch, false)
+				pr.applyDiffData(c, d)
+				st.accessedCur[pg] = true
+				buf.applied[pg] = true
+			}
+		}
+		delete(st.recv, lock)
+		return
+	}
+
+	// Not in the update set (or a stale push): invalidate the chain's
+	// pages; merged diffs will be fetched from the last owner at access
+	// faults (and topped up at release). Any optimistically applied
+	// pushed diffs are wasted (§2: misprediction cost).
+	if buf != nil {
+		c.P.Stats.UselessUpdates += uint64(len(buf.diffs))
+		delete(st.recv, lock)
+	}
+	st.inherited[lock] = make(map[int]*mem.Diff)
+	inval := 0
+	for _, pg := range g.invPages {
+		f := c.M.Peek(pg)
+		if f.Valid {
+			c.M.Invalidate(pg)
+			st.reason[pg] = invalLock
+			st.invalLockID[pg] = lock
+			inval++
+		} else if st.reason[pg] == invalNone && f.EverValid {
+			st.reason[pg] = invalLock
+			st.invalLockID[pg] = lock
+		}
+	}
+	c.P.Stats.Invalidations += uint64(inval)
+	c.P.Advance(pp.ListCycles(len(g.invPages)), stats.Synch)
+}
+
+// overlapUnit performs one unit of overlappable work during an acquire
+// wait: apply one pushed diff, or create one outside diff. Reports whether
+// any work was done.
+func (pr *AEC) overlapUnit(c *proto.Ctx, st *procState, lock int) bool {
+	// 1: apply a pushed diff for this lock to a currently valid page.
+	if buf := st.recv[lock]; buf != nil {
+		for _, pg := range sortedDiffPages(buf.diffs) {
+			if buf.applied[pg] || !c.M.Peek(pg).Valid {
+				continue
+			}
+			d := buf.diffs[pg]
+			pr.chargeDiffApply(c, d, stats.Synch, true)
+			pr.applyDiffData(c, d)
+			st.accessedCur[pg] = true
+			buf.applied[pg] = true
+			return true
+		}
+	}
+	// 2: create an outside diff for a modified page (speculative; saved
+	// twins and write protection per §3.2).
+	for _, pg := range sortedPages(st.dirtyOutside) {
+		if st.outsideDiff[pg] != nil {
+			continue
+		}
+		f := c.M.Frame(pg)
+		d := mem.MakeDiff(pg, f.Twin, f.Data, pr.e.Params.WordBytes)
+		pr.chargeDiffCreate(c, d, stats.Synch, true)
+		if d == nil {
+			// Page was re-written with identical contents; treat as
+			// clean for this interval.
+			st.outsideDiff[pg] = &mem.Diff{Page: pg}
+		} else {
+			st.outsideDiff[pg] = d
+		}
+		// The twin stays at its step-start snapshot (it is "saved", per
+		// §3.2): the speculative diff can then be discarded at release
+		// without losing the modifications it described.
+		writeProtect(f)
+		return true
+	}
+	return false
+}
+
+// handleAcqReq is the lock manager's service routine for ownership
+// requests.
+func (pr *AEC) handleAcqReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(acqReq)
+	l := pr.locks[req.lock]
+	s.ChargeList(1 + l.pred.QueueLen())
+	if l.held {
+		l.pred.Enqueue(m.From)
+		return
+	}
+	pr.grantLock(s, req.lock, m.From)
+}
+
+// grantLock hands the lock to proc, computing its update set (LAP) and
+// telling it how to bring its memory up to date.
+func (pr *AEC) grantLock(s *sim.Svc, lock, to int) {
+	l := pr.locks[lock]
+	prev := l.lastReleaser
+	l.pred.Granted(to, prev)
+	var us []int
+	if pr.opt.UseLAP {
+		us = l.pred.UpdateSet(to)
+		s.ChargeList(len(us) + 1)
+	}
+	l.held = true
+	l.holder = to
+	l.acqCount++
+	l.curGrantCount = l.acqCount
+	l.curUS = us
+
+	inUS := false
+	for _, q := range l.lastUS {
+		if q == to {
+			inUS = true
+			break
+		}
+	}
+	g := grantMsg{
+		lock:         lock,
+		lastReleaser: l.lastReleaser,
+		lastCount:    l.lastCount,
+		myCount:      l.acqCount,
+		inUS:         inUS,
+		us:           us,
+	}
+	size := 24 + 8*len(us)
+	if !inUS && l.lastReleaser >= 0 && l.lastReleaser != to {
+		g.invPages = append([]int(nil), l.cumPages...)
+		size += 8 * len(g.invPages)
+		s.ChargeList(len(g.invPages))
+	} else {
+		g.invPages = append([]int(nil), l.cumPages...)
+	}
+	s.Send(to, kAcqGrant, size, g, pr.handleGrant)
+}
+
+// handleGrant lands the manager's reply at the acquirer.
+func (pr *AEC) handleGrant(s *sim.Svc, m *sim.Msg) {
+	g := m.Payload.(grantMsg)
+	st := pr.ps[m.To]
+	st.grant = &g
+	s.Wake(s.P)
+}
+
+// Release implements the lock release operation of §3.2: create the diffs
+// of the pages modified inside the critical section, merge them with the
+// diffs inherited from the last owner, push the result to the update set,
+// and give up ownership to the manager. None of this can be overlapped
+// (the next acquirer must not see stale data), so it is all exposed.
+func (pr *AEC) Release(c *proto.Ctx, lock int) {
+	st := pr.ps[c.ID]
+	if st.inCS == 0 || st.curLock != lock {
+		panic(fmt.Sprintf("aec: release of lock %d not held (cur %d)", lock, st.curLock))
+	}
+
+	// Top up the inherited chain: any cumulative pages we never faulted
+	// on must be fetched now so the chain stays complete.
+	inherited := st.inherited[lock]
+	if owner := st.lockLastOwner[lock]; owner >= 0 && owner != c.ID {
+		var missing []int
+		for _, pg := range st.lockPages[lock] {
+			if _, ok := inherited[pg]; !ok {
+				missing = append(missing, pg)
+			}
+		}
+		if len(missing) > 0 {
+			diffs := pr.fetchLockDiffs(c, lock, owner, missing, stats.Synch)
+			for _, d := range diffs {
+				if d != nil {
+					inherited[d.Page] = d
+				}
+			}
+		}
+	}
+
+	// Create the inside diffs and merge with the inherited chain.
+	merged := make(map[int]*mem.Diff, len(inherited)+len(st.dirtyInside))
+	for pg, d := range inherited {
+		merged[pg] = d
+	}
+	for _, pg := range sortedPages(st.dirtyInside) {
+		f := c.M.Frame(pg)
+		if f.Twin == nil {
+			continue
+		}
+		d := mem.MakeDiff(pg, f.Twin, f.Data, pr.e.Params.WordBytes)
+		pr.chargeDiffCreate(c, d, stats.Synch, false)
+		if d != nil {
+			m := pr.merge2(merged[pg], d)
+			merged[pg] = m
+			if inherited[pg] != nil {
+				c.P.Stats.DiffsMerged++
+				c.P.Stats.MergedBytes += uint64(m.EncodedBytes())
+			}
+		}
+		c.M.DropTwin(pg)
+		writeProtect(f)
+	}
+	st.myMerged[lock] = merged
+	delete(st.inherited, lock)
+
+	// Push the merged diffs to the update set the manager computed for
+	// us at grant time.
+	myCount := st.lockMyCount[lock]
+	pages := sortedDiffPages(merged)
+	if pr.opt.UseLAP && len(st.lockUS[lock]) > 0 && len(merged) > 0 {
+		diffs := make([]*mem.Diff, 0, len(merged))
+		bytes := 0
+		for _, pg := range pages {
+			diffs = append(diffs, merged[pg])
+			bytes += merged[pg].EncodedBytes()
+		}
+		for _, q := range st.lockUS[lock] {
+			if q == c.ID {
+				continue
+			}
+			c.P.Stats.UpdatesPushed++
+			c.P.Stats.UpdateBytesPushed += uint64(bytes)
+			pr.lockf("p%d push lock %d count %d to p%d (%d pages)", c.ID, lock, myCount, q, len(pages))
+			pr.e.SendFrom(c.P, stats.Synch, q, kPush, bytes,
+				pushMsg{lock: lock, from: c.ID, count: myCount, step: st.step, diffs: diffs},
+				pr.handlePush)
+		}
+	}
+
+	// Tell the manager we are giving up ownership.
+	pr.lockf("p%d release lock %d count %d pages %d", c.ID, lock, myCount, len(pages))
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kRel, 8+8*len(pages),
+		relMsg{lock: lock, count: myCount, step: st.step, pages: pages}, pr.handleRel)
+
+	// Unprotect pages modified outside the CS and not inside it; their
+	// speculative outside diffs are discarded and twins reutilized. Only
+	// pages twinned in the CURRENT step stay writable: a page whose twin
+	// belongs to an earlier step must trap on its next write so the old
+	// step's diff is archived and the twin renewed (otherwise its write
+	// notices for the new step are never generated).
+	for _, pg := range sortedPages(st.dirtyOutside) {
+		if st.dirtyInside[pg] || st.twinStep[pg] != st.step {
+			continue
+		}
+		if st.outsideDiff[pg] != nil {
+			delete(st.outsideDiff, pg)
+		}
+		f := c.M.Peek(pg)
+		if f.Data != nil {
+			f.WriteEpoch = c.Epoch + 1 // writable again in the new epoch
+		}
+	}
+
+	st.dirtyInside = make(map[int]bool)
+	st.inCS--
+	st.curLock = -1
+	c.Epoch++
+}
+
+// handlePush lands an update-set push at a predicted next acquirer. Only
+// the freshest push per lock is kept; older ones are wasted updates.
+func (pr *AEC) handlePush(s *sim.Svc, m *sim.Msg) {
+	p := m.Payload.(pushMsg)
+	st := pr.ps[m.To]
+	s.ChargeList(len(p.diffs))
+	if p.step < st.step {
+		// Push from a previous barrier step: the barrier already made
+		// everyone coherent; this update is stale and wasted. Pushes
+		// from a step the sender reached first are kept (the receiver
+		// will cross the same barrier before consuming them).
+		pr.ctxs[m.To].P.Stats.UselessUpdates += uint64(len(p.diffs))
+		return
+	}
+	old := st.recv[p.lock]
+	if old != nil && (old.step > p.step || (old.step == p.step && old.count > p.count)) {
+		pr.ctxs[m.To].P.Stats.UselessUpdates += uint64(len(p.diffs))
+		return
+	}
+	if old != nil {
+		pr.ctxs[m.To].P.Stats.UselessUpdates += uint64(len(old.diffs))
+	}
+	pr.lockf("p%d recv push lock %d count %d from p%d", m.To, p.lock, p.count, p.from)
+	buf := &recvBuf{from: p.from, count: p.count, step: p.step,
+		diffs: make(map[int]*mem.Diff, len(p.diffs)), applied: make(map[int]bool)}
+	for _, d := range p.diffs {
+		buf.diffs[d.Page] = d
+	}
+	st.recv[p.lock] = buf
+	// The acquirer may be waiting for exactly this push.
+	s.Wake(s.P)
+}
+
+// handleRel processes a release at the lock manager: record the new chain
+// state and grant to the head of the waiting queue, if any. A release sent
+// before a barrier that has since completed transfers ownership but not
+// chain state: the barrier already distributed the merged diffs (and the
+// releaser's push was dropped at the step boundary), so the chain restarts
+// empty.
+func (pr *AEC) handleRel(s *sim.Svc, m *sim.Msg) {
+	r := m.Payload.(relMsg)
+	l := pr.locks[r.lock]
+	s.ChargeList(1 + len(r.pages))
+	l.held = false
+	l.holder = -1
+	l.lastReleaser = m.From
+	l.lastCount = r.count
+	if r.step == pr.bar.seq {
+		l.lastUS = l.curUS
+		l.cumPages = r.pages
+	} else {
+		l.lastUS = nil
+		l.cumPages = nil
+	}
+	if next := l.pred.Dequeue(); next >= 0 {
+		pr.grantLock(s, r.lock, next)
+	}
+}
+
+// fetchLockDiffs synchronously fetches merged diffs for the given pages
+// from the last owner of the lock (the lazy path used on faults and at
+// release top-up).
+func (pr *AEC) fetchLockDiffs(c *proto.Ctx, lock, owner int, pages []int, cat stats.Category) []*mem.Diff {
+	tk := &token{}
+	c.P.Stats.DiffRequests++
+	c.P.WaitTag = fmt.Sprintf("diffreq lock %d owner %d", lock, owner)
+	pr.e.SendFrom(c.P, cat, owner, kDiffReq, 8+8*len(pages),
+		diffReq{lock: lock, pages: pages, tk: tk, from: c.ID}, pr.handleDiffReq)
+	c.P.WaitUntil(func() bool { return tk.done }, cat)
+	return tk.diffs
+}
+
+// handleDiffReq serves merged CS diffs from the last owner's store.
+func (pr *AEC) handleDiffReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(diffReq)
+	st := pr.ps[m.To]
+	s.ChargeList(len(req.pages))
+	merged := st.myMerged[req.lock]
+	var out []*mem.Diff
+	bytes := 0
+	for _, pg := range req.pages {
+		st.reqSeen[pg] = true
+		if d := merged[pg]; d != nil {
+			out = append(out, d)
+			bytes += d.EncodedBytes()
+		}
+	}
+	s.Send(m.From, kDiffRep, bytes, out, func(s2 *sim.Svc, m2 *sim.Msg) {
+		req.tk.diffs = m2.Payload.([]*mem.Diff)
+		req.tk.done = true
+		s2.Wake(s2.P)
+	})
+}

@@ -1,0 +1,277 @@
+package aec
+
+import (
+	"aecdsm/internal/lap"
+	"aecdsm/internal/mem"
+)
+
+// invalReason records why a page copy was invalidated, which determines the
+// fault recovery path (§3.4 of the paper).
+type invalReason uint8
+
+const (
+	invalNone invalReason = iota
+	// invalWN: invalidated by a write notice at a barrier; recover by
+	// fetching the writers' outside diffs.
+	invalWN
+	// invalLock: invalidated at a lock grant because the acquirer was not
+	// in the last releaser's update set; recover by fetching the merged
+	// diffs from the last owner.
+	invalLock
+)
+
+// recvBuf holds the latest merged-diff push received for a lock (the
+// update-set eager transfer). Stale pushes are detected via the acquire
+// counter and discarded.
+type recvBuf struct {
+	from    int
+	count   int
+	step    int
+	diffs   map[int]*mem.Diff // page -> merged diff
+	applied map[int]bool      // pages of THIS push already applied locally
+}
+
+// grantMsg is the lock manager's reply to an acquire request.
+type grantMsg struct {
+	lock         int
+	lastReleaser int   // -1 if first acquisition since reset
+	lastCount    int   // acquire counter of the last releaser's tenure
+	myCount      int   // acquire counter of this grant
+	inUS         bool  // acquirer was in the last releaser's update set
+	invPages     []int // cumulative CS page set to invalidate when !inUS
+	us           []int // update set computed for the acquirer's release
+}
+
+// procState is the per-processor AEC protocol state.
+type procState struct {
+	id   int
+	step int
+
+	// Outside-of-critical-section modification tracking.
+	dirtyOutside map[int]bool              // page -> has live twin with outside mods
+	twinStep     map[int]int               // page -> step its live twin belongs to
+	outsideDiff  map[int]*mem.Diff         // speculative eager outside diffs (current interval)
+	diffStore    map[int]map[int]*mem.Diff // page -> step -> archived outside diff
+	reqSeen      map[int]bool              // pages some remote processor requested
+
+	// Critical-section state.
+	inCS        int
+	curLock     int
+	dirtyInside map[int]bool // pages modified inside the current CS
+
+	// Per-lock diff chains.
+	inherited     map[int]map[int]*mem.Diff // lock -> page -> inherited merged diffs
+	myMerged      map[int]map[int]*mem.Diff // lock -> page -> my last released merged diffs
+	lockLastOwner map[int]int
+	lockLastCount map[int]int
+	lockPages     map[int][]int // lock -> cumulative page set (from grant)
+	lockUS        map[int][]int // lock -> update set given to me at grant
+	lockMyCount   map[int]int   // lock -> acquire counter of my grant
+
+	// Update pushes received (LAP).
+	recv map[int]*recvBuf
+
+	// Write notices pending per page, and why pages were invalidated.
+	pendingWN   map[int][]mem.WriteNotice
+	reason      map[int]invalReason
+	invalLockID map[int]int // page -> lock whose grant invalidated it
+
+	// sharedHint marks pages the barrier manager reported as held by
+	// other processors (worth diffing eagerly at the next barrier).
+	sharedHint map[int]bool
+
+	// Step access sets for the home/fault decision.
+	accessedPrev map[int]bool
+	accessedCur  map[int]bool
+	// Pages that became valid here since the last barrier (reported to
+	// the barrier manager for copyset maintenance).
+	newValid map[int]bool
+
+	// Per-page home assignments (updated by barrier instructions).
+	homes []int
+
+	// Landing zones for in-flight replies.
+	grant    *grantMsg
+	barInstr *barInstr
+
+	// Barrier exchange bookkeeping.
+	barDiffsGot, barWNsGot int
+	barComplete            bool
+}
+
+func newProcState(id, pages int, space *mem.Space) *procState {
+	st := &procState{
+		id:            id,
+		dirtyOutside:  make(map[int]bool),
+		twinStep:      make(map[int]int),
+		outsideDiff:   make(map[int]*mem.Diff),
+		diffStore:     make(map[int]map[int]*mem.Diff),
+		reqSeen:       make(map[int]bool),
+		dirtyInside:   make(map[int]bool),
+		inherited:     make(map[int]map[int]*mem.Diff),
+		myMerged:      make(map[int]map[int]*mem.Diff),
+		lockLastOwner: make(map[int]int),
+		lockLastCount: make(map[int]int),
+		lockPages:     make(map[int][]int),
+		lockUS:        make(map[int][]int),
+		lockMyCount:   make(map[int]int),
+		recv:          make(map[int]*recvBuf),
+		pendingWN:     make(map[int][]mem.WriteNotice),
+		reason:        make(map[int]invalReason),
+		invalLockID:   make(map[int]int),
+		sharedHint:    make(map[int]bool),
+		accessedPrev:  make(map[int]bool),
+		accessedCur:   make(map[int]bool),
+		newValid:      make(map[int]bool),
+		homes:         make([]int, pages),
+		curLock:       -1,
+	}
+	for pg := range st.homes {
+		st.homes[pg] = space.InitHome(pg)
+	}
+	return st
+}
+
+// lockState is the manager-side state of one lock variable. Lock managers
+// are distributed round-robin across processors (lock % nprocs), as in the
+// paper; the state lives in Go memory but is only touched by messages
+// addressed to the managing node, so its costs land on the right processor.
+type lockState struct {
+	pred *lap.Predictor
+
+	held   bool
+	holder int
+
+	acqCount      int
+	curGrantCount int   // acqCount at the current holder's grant
+	curUS         []int // update set computed for the current holder
+
+	lastReleaser int
+	lastCount    int
+	lastUS       []int
+	cumPages     []int // cumulative merged page set of the chain
+}
+
+func newLockState(nprocs, ns int) *lockState {
+	return &lockState{
+		pred:         lap.New(nprocs, ns),
+		holder:       -1,
+		lastReleaser: -1,
+	}
+}
+
+// ownedLock is one entry in a barrier arrival message: a lock whose merged
+// diffs this processor holds as last releaser.
+type ownedLock struct {
+	lock  int
+	count int   // acquire counter of my last release (latest wins)
+	pages []int // pages in my merged diff set
+}
+
+// arriveMsg is the barrier arrival message.
+type arriveMsg struct {
+	proc     int
+	owned    []ownedLock
+	outside  []int // pages modified outside CS this step
+	newValid []int // pages that became valid here since the last barrier
+}
+
+// sendDiffInstr instructs the last owner of a lock to send a page's merged
+// diff to the listed processors.
+type sendDiffInstr struct {
+	page    int
+	lock    int
+	targets []int
+}
+
+// sendWNInstr instructs an outside writer to send write notices.
+type sendWNInstr struct {
+	page    int
+	targets []int
+}
+
+// homeAssign reassigns a page's home processor.
+type homeAssign struct {
+	page, home int
+}
+
+// barInstr is the barrier manager's per-processor instruction message.
+type barInstr struct {
+	diffSends []sendDiffInstr
+	wnSends   []sendWNInstr
+	homes     []homeAssign
+	expDiffs  int
+	expWNs    int
+	// sharedPages lists this processor's outside pages that other
+	// processors hold copies of — the paper's "accessed by other
+	// processors in the previous step" condition for eager diffing.
+	sharedPages []int
+}
+
+// barrierState is the barrier manager's state (resident on processor 0).
+type barrierState struct {
+	seq      int
+	arrivals []*arriveMsg
+	got      int
+	ready    int
+	copyset  []uint32 // per page bitmask of processors with valid copies
+	homes    []int
+}
+
+// token is the landing zone of a blocking request/reply exchange.
+type token struct {
+	done  bool
+	diffs []*mem.Diff
+	page  []byte
+	wns   []mem.WriteNotice
+}
+
+// wire payload types.
+type acqReq struct {
+	lock int
+}
+
+type relMsg struct {
+	lock  int
+	count int
+	step  int // barrier step at release; pre-barrier chain info is stale
+	pages []int
+}
+
+type pushMsg struct {
+	lock  int
+	from  int
+	count int
+	step  int // barrier step; cross-step pushes are stale
+	diffs []*mem.Diff
+}
+
+type diffReq struct { // fetch merged CS diffs from last owner
+	lock  int
+	pages []int
+	tk    *token
+	from  int
+}
+
+type pageReq struct {
+	page int
+	tk   *token
+	from int
+}
+
+type wnDiffReq struct { // fetch outside diffs named by write notices
+	page  int
+	steps []int
+	tk    *token
+	from  int
+}
+
+type barDiffMsg struct {
+	page int
+	lock int
+	diff *mem.Diff
+}
+
+type barWNMsg struct {
+	wn mem.WriteNotice
+}

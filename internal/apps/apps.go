@@ -1,0 +1,145 @@
+// Package apps contains the application workload of the reproduction: the
+// six SPMD programs of Table 2 of the AEC paper (IS, Raytrace,
+// Water-nsquared, FFT, Ocean, Water-spatial) re-implemented against the
+// DSM context API, each verifying its results against a serial reference,
+// plus small synthetic programs used by tests and examples.
+//
+// The applications reproduce the synchronization and sharing structure the
+// protocols care about — per-molecule locks, task queues with stealing,
+// barrier-phased stencils — at problem sizes that keep simulation fast.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aecdsm/internal/proto"
+)
+
+// Rand is a small deterministic PRNG (xorshift64*), so runs are
+// reproducible regardless of Go's math/rand evolution.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator; seed must be non-zero (0 is fixed up).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// verifier accumulates verification errors from SPMD bodies. Multiple
+// simulated processors run on separate goroutines, but never concurrently;
+// the mutex is belt-and-braces for the Err reader.
+type verifier struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (v *verifier) fail(format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.err == nil {
+		v.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first recorded failure.
+func (v *verifier) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
+}
+
+// Registry maps application names to factories. A factory builds a fresh
+// program instance for one run; scale in (0,1] shrinks problem sizes for
+// fast tests, 1.0 being the benchmark configuration.
+var Registry = map[string]func(scale float64) proto.Program{}
+
+// Names returns the registered application names, sorted, paper order
+// first for the six paper apps.
+func Names() []string {
+	paper := []string{"IS", "Raytrace", "Water-ns", "FFT", "Ocean", "Water-sp"}
+	var out []string
+	for _, n := range paper {
+		if _, ok := Registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	var rest []string
+	for n := range Registry {
+		if !contains(out, n) {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// sortedKeys returns a map's integer keys in ascending order.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clampScale(s float64) float64 {
+	if s <= 0 || s > 1 {
+		return 1
+	}
+	return s
+}
+
+func scaled(n int, scale float64, minimum int) int {
+	v := int(float64(n) * clampScale(scale))
+	if v < minimum {
+		return minimum
+	}
+	return v
+}
+
+// LockGroup names a contiguous range of lock variables [Lo, Hi) that are
+// logically related in an application (Table 3 groups lock variables this
+// way, e.g. Raytrace's task-queue locks or Water-nsquared's per-molecule
+// locks).
+type LockGroup struct {
+	Name   string
+	Lo, Hi int
+}
+
+// LockGrouper is implemented by applications that describe their lock
+// variables for per-group LAP success-rate reporting.
+type LockGrouper interface {
+	LockGroups() []LockGroup
+}

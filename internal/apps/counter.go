@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+)
+
+// Counter is a micro-program used by tests and the quickstart example:
+// every processor repeatedly increments a set of shared counters under a
+// lock, with a barrier between rounds; processor 0 verifies the totals
+// after the final barrier. It exercises lock handoff, merged diffs,
+// update pushes, and barrier coherence on one page.
+type Counter struct {
+	Rounds   int // lock/increment rounds per processor
+	Counters int // number of shared counter slots (cyclically updated)
+	PerRound int // increments per critical section
+
+	base  mem.Addr
+	v     verifier
+	procs int
+}
+
+// NewCounter builds the micro-program. Zero fields get small defaults.
+func NewCounter(rounds, counters, perRound int) *Counter {
+	if rounds <= 0 {
+		rounds = 4
+	}
+	if counters <= 0 {
+		counters = 64
+	}
+	if perRound <= 0 {
+		perRound = 8
+	}
+	return &Counter{Rounds: rounds, Counters: counters, PerRound: perRound}
+}
+
+// Name implements proto.Program.
+func (a *Counter) Name() string { return "counter" }
+
+// NumLocks implements proto.Program.
+func (a *Counter) NumLocks() int { return 1 }
+
+// Err implements proto.Program.
+func (a *Counter) Err() error { return a.v.Err() }
+
+// Init implements proto.Program.
+func (a *Counter) Init(s *mem.Space, nprocs int) {
+	a.procs = nprocs
+	a.base = s.Alloc("counters", 8*a.Counters, 0)
+}
+
+// Body implements proto.Program.
+func (a *Counter) Body(c *proto.Ctx) {
+	for round := 0; round < a.Rounds; round++ {
+		c.Notice(0)
+		c.Compute(200 + uint64(c.ID)*13)
+		c.Acquire(0)
+		for i := 0; i < a.PerRound; i++ {
+			slot := (c.ID*a.PerRound + i) % a.Counters
+			addr := a.base + 8*slot
+			c.WriteI64(addr, c.ReadI64(addr)+1)
+		}
+		c.Release(0)
+		c.Barrier()
+	}
+	if c.ID == 0 {
+		var total int64
+		for s := 0; s < a.Counters; s++ {
+			total += c.ReadI64(a.base + 8*s)
+		}
+		want := int64(a.Rounds * a.procs * a.PerRound)
+		if total != want {
+			a.v.fail("counter: total %d, want %d", total, want)
+		}
+	}
+	c.Barrier()
+}

@@ -1,0 +1,240 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+	if NewRand(0).Next() == 0 {
+		t.Fatal("zero seed must be fixed up")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)%1000 + 1
+		procs := int(pRaw)%16 + 1
+		covered := 0
+		prevHi := 0
+		for id := 0; id < procs; id++ {
+			lo, hi := block(n, id, procs)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTInPlaceMatchesDFT(t *testing.T) {
+	rng := NewRand(3)
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	got := append([]complex128(nil), x...)
+	fftInPlace(got, false)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			want += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		if cmplx.Abs(got[k]-want) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := NewRand(9)
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	y := append([]complex128(nil), x...)
+	fftInPlace(y, false)
+	fftInPlace(y, true)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestSerialFFTAgreesWithDirect1D(t *testing.T) {
+	// The four-step matrix algorithm computes the 1-D FFT of the n*n
+	// sequence laid out in column-major decimation; verify against a
+	// direct transform for a small size.
+	const n = 8 // 64-point transform
+	rng := NewRand(5)
+	x := make([]complex128, n*n)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	got := serialFFT(append([]complex128(nil), x...), n)
+
+	// Derivation: with M[r][c] = x[r*n+c], the four-step algorithm
+	// computes out[r*n+c] = X[c + n*r] of the transposed-layout
+	// sequence x'[a*n+b] = x[b*n+a] — a standard digit-reversal-free
+	// decimated FFT. Verify against the direct DFT of x'.
+	N := n * n
+	xp := make([]complex128, N)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			xp[a*n+b] = x[b*n+a]
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			k := c + n*r
+			var want complex128
+			for s := 0; s < N; s++ {
+				ang := -2 * math.Pi * float64((k*s)%N) / float64(N)
+				want += xp[s] * cmplx.Exp(complex(0, ang))
+			}
+			if cmplx.Abs(got[r*n+c]-want) > 1e-6 {
+				t.Fatalf("four-step output (%d,%d) = %v, want %v", r, c, got[r*n+c], want)
+			}
+		}
+	}
+}
+
+func TestWaterSerialConservation(t *testing.T) {
+	w := newWaterParams(0.1)
+	pos, pot := w.serialWaterNS()
+	if len(pos) != w.mols {
+		t.Fatal("wrong molecule count")
+	}
+	if pot <= 0 {
+		t.Fatalf("potential = %v, want > 0 for a packed lattice", pot)
+	}
+	// Momentum conservation: forces are equal-and-opposite, velocities
+	// start at zero, so the center of mass barely drifts.
+	var com vec3
+	for _, p := range pos {
+		com = com.add(p)
+	}
+	com0 := vec3{}
+	for _, p := range w.initialPositions() {
+		com0 = com0.add(p)
+	}
+	drift := com.sub(com0).norm() / float64(w.mols)
+	if drift > 1e-12 {
+		t.Fatalf("center of mass drift %v", drift)
+	}
+}
+
+func TestWaterPairForceSymmetry(t *testing.T) {
+	w := newWaterParams(0.1)
+	a := vec3{0, 0, 0}
+	b := vec3{1, 0.3, -0.2}
+	fab, pab := w.pairForce(a, b)
+	fba, pba := w.pairForce(b, a)
+	if pab != pba {
+		t.Fatal("potential not symmetric")
+	}
+	sum := fab.add(fba)
+	if sum.norm() > 1e-15 {
+		t.Fatalf("forces not equal-and-opposite: %v", sum)
+	}
+	if f, p := w.pairForce(a, vec3{10, 0, 0}); p != 0 || f.norm() != 0 {
+		t.Fatal("cutoff not applied")
+	}
+}
+
+func TestSerialOceanConverges(t *testing.T) {
+	d := 18
+	g := make([]float64, d*d)
+	rng := NewRand(11)
+	for i := range g {
+		g[i] = rng.Float64()
+	}
+	res := func(g []float64) float64 {
+		var r float64
+		for row := 1; row < d-1; row++ {
+			for c := 1; c < d-1; c++ {
+				r += math.Abs(g[row*d+c] - 0.25*(g[(row-1)*d+c]+g[(row+1)*d+c]+g[row*d+c-1]+g[row*d+c+1]))
+			}
+		}
+		return r
+	}
+	before := res(g)
+	for it := 0; it < 50; it++ {
+		serialSweep(g, d, 0)
+		serialSweep(g, d, 1)
+	}
+	if after := res(g); after >= before/10 {
+		t.Fatalf("relaxation did not converge: %v -> %v", before, after)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range []string{"IS", "Raytrace", "Water-ns", "FFT", "Ocean", "Water-sp"} {
+		if _, ok := Registry[name]; !ok {
+			t.Errorf("app %q missing from registry", name)
+		}
+	}
+	names := Names()
+	if len(names) < 6 || names[0] != "IS" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestLockGroupsCoverLocks(t *testing.T) {
+	for _, name := range Names() {
+		prog := Registry[name](0.05)
+		g, ok := prog.(LockGrouper)
+		if !ok {
+			continue
+		}
+		// Raytrace needs Init to know the processor count.
+		if in, ok2 := prog.(interface{ NumLocks() int }); ok2 {
+			_ = in
+		}
+		for _, grp := range g.LockGroups() {
+			if grp.Lo < 0 || grp.Hi < grp.Lo {
+				t.Errorf("%s: bad group %+v", name, grp)
+			}
+		}
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(100, 0.5, 1) != 50 {
+		t.Fatal("scaled")
+	}
+	if scaled(100, 0.0001, 7) != 7 {
+		t.Fatal("minimum")
+	}
+	if scaled(100, 5, 1) != 100 {
+		t.Fatal("clamp above 1")
+	}
+}

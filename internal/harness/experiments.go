@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"fmt"
+
+	"aecdsm/internal/aec"
+	"aecdsm/internal/apps"
+	"aecdsm/internal/lap"
+	"aecdsm/internal/memsys"
+	"aecdsm/internal/munin"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/tm"
+)
+
+// ProtocolKind selects which protocol an experiment run uses.
+type ProtocolKind string
+
+// Protocol kinds available to experiments.
+const (
+	ProtoAEC      ProtocolKind = "AEC"
+	ProtoAECNoLAP ProtocolKind = "AEC-noLAP"
+	ProtoTM       ProtocolKind = "TM"
+	ProtoTMLH     ProtocolKind = "TM-LH"
+	ProtoMunin    ProtocolKind = "Munin"
+	ProtoMuninLAP ProtocolKind = "Munin+LAP"
+	ProtoIdeal    ProtocolKind = "ideal"
+)
+
+// runKey identifies a memoized experiment run.
+type runKey struct {
+	app   string
+	proto ProtocolKind
+	ns    int
+}
+
+// Experiments runs and memoizes the simulations behind every table and
+// figure of the paper. Scale in (0,1] shrinks the application problem
+// sizes (1.0 = the paper's configuration).
+type Experiments struct {
+	Params memsys.Params
+	Scale  float64
+
+	cache map[runKey]*Result
+	// LAP statistics are harvested from the protocol right after each
+	// AEC run, keyed like the run itself.
+	lapCache map[runKey][]lapRow
+	groups   map[string][]apps.LockGroup
+}
+
+// lapRow is the Table 3 data for one lock group.
+type lapRow struct {
+	Group     string
+	Events    uint64
+	Full      float64
+	WaitQ     float64
+	WaitAff   float64
+	WaitVirt  float64
+	Evaluated uint64
+}
+
+// NewExperiments builds an experiment driver with the paper's default
+// system parameters.
+func NewExperiments(scale float64) *Experiments {
+	return &Experiments{
+		Params:   memsys.Default(),
+		Scale:    scale,
+		cache:    map[runKey]*Result{},
+		lapCache: map[runKey][]lapRow{},
+		groups:   map[string][]apps.LockGroup{},
+	}
+}
+
+func (e *Experiments) protocol(kind ProtocolKind, ns int) proto.Protocol {
+	switch kind {
+	case ProtoAEC:
+		return aec.New(aec.Options{UseLAP: true, Ns: ns})
+	case ProtoAECNoLAP:
+		return aec.New(aec.Options{UseLAP: false, Ns: ns})
+	case ProtoTM:
+		return tm.New()
+	case ProtoTMLH:
+		return tm.NewLazyHybrid()
+	case ProtoMunin:
+		return munin.New(munin.Options{})
+	case ProtoMuninLAP:
+		return munin.New(munin.Options{UseLAP: true, Ns: ns})
+	case ProtoIdeal:
+		return proto.NewIdeal(4096)
+	}
+	panic("harness: unknown protocol kind " + string(kind))
+}
+
+// Run returns the memoized result of app under the protocol kind (Ns=2).
+func (e *Experiments) Run(app string, kind ProtocolKind) *Result {
+	return e.RunNs(app, kind, 2)
+}
+
+// RunNs is Run with an explicit update set size.
+func (e *Experiments) RunNs(app string, kind ProtocolKind, ns int) *Result {
+	key := runKey{app: app, proto: kind, ns: ns}
+	if r, ok := e.cache[key]; ok {
+		return r
+	}
+	factory, ok := apps.Registry[app]
+	if !ok {
+		panic("harness: unknown app " + app)
+	}
+	prog := factory(e.Scale)
+	pr := e.protocol(kind, ns)
+	res := MustRun(e.Params, pr, prog)
+	e.cache[key] = res
+
+	if g, ok := prog.(apps.LockGrouper); ok {
+		e.groups[app] = g.LockGroups()
+	}
+	if a, ok := pr.(lapReporter); ok {
+		e.lapCache[key] = harvestLAP(a, e.groups[app])
+	}
+	return res
+}
+
+// lapReporter is implemented by protocols whose lock managers record Lock
+// Acquirer Prediction statistics (AEC natively; TreadMarks passively, for
+// the §5.1 cross-protocol robustness study).
+type lapReporter interface {
+	NumLocks() int
+	LockLAP(lock int) lap.Stats
+}
+
+// harvestLAP aggregates per-lock LAP statistics into the app's groups,
+// weighting by acquire events as the paper does.
+func harvestLAP(a lapReporter, groups []apps.LockGroup) []lapRow {
+	if len(groups) == 0 {
+		groups = []apps.LockGroup{{Name: "all locks", Lo: 0, Hi: a.NumLocks()}}
+	}
+	rows := make([]lapRow, 0, len(groups))
+	for _, g := range groups {
+		var row lapRow
+		row.Group = g.Name
+		var wFull, wQ, wAff, wVirt float64
+		for l := g.Lo; l < g.Hi && l < a.NumLocks(); l++ {
+			s := a.LockLAP(l)
+			row.Events += s.Acquires
+			row.Evaluated += s.Evaluated
+			ev := float64(s.Evaluated)
+			if ev == 0 {
+				continue
+			}
+			wFull += float64(s.HitFull)
+			wQ += float64(s.HitWaitQ)
+			wAff += float64(s.HitWaitAff)
+			wVirt += float64(s.HitWaitVirt)
+		}
+		if row.Evaluated > 0 {
+			t := float64(row.Evaluated)
+			row.Full = 100 * wFull / t
+			row.WaitQ = 100 * wQ / t
+			row.WaitAff = 100 * wAff / t
+			row.WaitVirt = 100 * wVirt / t
+		} else {
+			row.Full, row.WaitQ, row.WaitAff, row.WaitVirt = -1, -1, -1, -1
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// LAP returns the Table 3 rows for an app (runs AEC with the given Ns if
+// not cached yet).
+func (e *Experiments) LAP(app string, ns int) []lapRow {
+	e.RunNs(app, ProtoAEC, ns)
+	return e.lapCache[runKey{app: app, proto: ProtoAEC, ns: ns}]
+}
+
+// LAPUnder returns the lock-group LAP rows measured under an arbitrary
+// protocol (AEC or TM).
+func (e *Experiments) LAPUnder(app string, kind ProtocolKind) []lapRow {
+	e.RunNs(app, kind, 2)
+	return e.lapCache[runKey{app: app, proto: kind, ns: 2}]
+}
+
+// OverallLAPRate collapses an app's group rows into one events-weighted
+// full-LAP success rate, or -1 when nothing was evaluated.
+func OverallLAPRate(rows []lapRow) float64 {
+	var hits, ev float64
+	for _, r := range rows {
+		if r.Evaluated > 0 && r.Full >= 0 {
+			hits += r.Full * float64(r.Evaluated)
+			ev += float64(r.Evaluated)
+		}
+	}
+	if ev == 0 {
+		return -1
+	}
+	return hits / ev
+}
+
+// LockApps are the applications whose synchronization overhead is
+// dominated by lock operations (Figures 3, 4 and 6).
+func LockApps() []string { return []string{"IS", "Raytrace", "Water-ns"} }
+
+// BarrierApps are the barrier-dominated applications (Figure 5).
+func BarrierApps() []string { return []string{"FFT", "Ocean", "Water-sp"} }
+
+// AllApps returns the paper's six applications in its order.
+func AllApps() []string {
+	return []string{"IS", "Raytrace", "Water-ns", "FFT", "Ocean", "Water-sp"}
+}
+
+// appsFactory resolves an application factory, panicking on unknown names.
+func appsFactory(app string) func(float64) proto.Program {
+	f, ok := apps.Registry[app]
+	if !ok {
+		panic("harness: unknown app " + app)
+	}
+	return f
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+func fmtRate(r float64) string {
+	if r < 0 {
+		return "   -"
+	}
+	return fmt.Sprintf("%4.1f", r)
+}

@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestLAPRobustness reproduces the §5.1 claim: LAP accuracy is similar
+// under AEC and TreadMarks for the lock-intensive applications.
+func TestLAPRobustness(t *testing.T) {
+	e := NewExperiments(0.1)
+	e.LAPRobustness(os.Stdout)
+	for _, app := range LockApps() {
+		a := OverallLAPRate(e.LAPUnder(app, ProtoAEC))
+		tm := OverallLAPRate(e.LAPUnder(app, ProtoTM))
+		if a < 0 || tm < 0 {
+			t.Fatalf("%s: missing LAP rates (%v, %v)", app, a, tm)
+		}
+		if d := a - tm; d > 25 || d < -25 {
+			t.Errorf("%s: LAP rate differs too much across protocols: AEC %.1f vs TM %.1f", app, a, tm)
+		}
+	}
+}

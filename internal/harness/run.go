@@ -1,0 +1,98 @@
+// Package harness composes a simulation run — engine, shared space,
+// protocol, application — and implements the experiment drivers that
+// regenerate every table and figure of the AEC paper.
+package harness
+
+import (
+	"fmt"
+
+	"aecdsm/internal/mem"
+	"aecdsm/internal/memsys"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// memorySharer is implemented by protocols (the ideal one) under which all
+// processors view a single physical memory.
+type memorySharer interface {
+	SharesMemory() bool
+}
+
+// Result bundles everything measured in one run.
+type Result struct {
+	Run      *stats.Run
+	Protocol proto.Protocol
+	Program  proto.Program
+	// VerifyErr is the application's self-check outcome.
+	VerifyErr error
+	// Deadlocked reports a simulation that wedged (protocol bug).
+	Deadlocked bool
+}
+
+// Cycles returns the parallel execution time.
+func (r *Result) Cycles() uint64 { return r.Run.Cycles }
+
+// Run executes prog under protocol pr with the given system parameters and
+// returns the measurements. It panics on configuration errors; protocol
+// deadlocks are reported in the result.
+func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
+	space := mem.NewSpace(params.PageSize)
+	prog.Init(space, params.NumProcs)
+	if nl, ok := pr.(proto.NumLocksProvider); ok {
+		nl.SetNumLocks(prog.NumLocks())
+	}
+
+	run := stats.NewRun(prog.Name(), pr.Name(), params.NumProcs)
+	eng := sim.New(params, run)
+
+	shared := false
+	if ms, ok := pr.(memorySharer); ok && ms.SharesMemory() {
+		shared = true
+	}
+	var sharedMem *mem.ProcMem
+	if shared {
+		sharedMem = mem.NewProcMem(space, 0)
+	}
+
+	ctxs := make([]*proto.Ctx, params.NumProcs)
+	for i := 0; i < params.NumProcs; i++ {
+		m := sharedMem
+		if !shared {
+			m = mem.NewProcMem(space, i)
+		}
+		ctxs[i] = proto.NewCtx(eng.Procs[i], eng, m, space, pr, i, params.NumProcs)
+	}
+	pr.Attach(eng, space, ctxs)
+
+	for i := 0; i < params.NumProcs; i++ {
+		c := ctxs[i]
+		eng.Spawn(i, func(p *sim.Proc) {
+			prog.Body(c)
+			pr.Done(c)
+		})
+	}
+	eng.Start()
+
+	return &Result{
+		Run:        run,
+		Protocol:   pr,
+		Program:    prog,
+		VerifyErr:  prog.Err(),
+		Deadlocked: eng.Deadlocked,
+	}
+}
+
+// MustRun is Run plus a panic on deadlock or verification failure; used by
+// the experiment drivers where a failure invalidates the whole table.
+func MustRun(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
+	r := Run(params, pr, prog)
+	if r.Deadlocked {
+		panic(fmt.Sprintf("harness: %s under %s deadlocked", prog.Name(), pr.Name()))
+	}
+	if r.VerifyErr != nil {
+		panic(fmt.Sprintf("harness: %s under %s failed verification: %v",
+			prog.Name(), pr.Name(), r.VerifyErr))
+	}
+	return r
+}

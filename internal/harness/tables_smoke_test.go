@@ -1,0 +1,11 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+func TestTablesSmoke(t *testing.T) {
+	e := NewExperiments(0.05)
+	e.All(os.Stdout)
+}

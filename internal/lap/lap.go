@@ -1,0 +1,329 @@
+// Package lap implements Lock Acquirer Prediction (§2 of the AEC paper):
+// predicting the next acquirer of a lock at release time from three
+// low-level techniques — the waiting queue, the virtual queue (acquire
+// notices), and lock transfer affinity — combined into an update set of
+// bounded size Ns.
+//
+// The package is protocol-agnostic: AEC feeds it lock-manager events and
+// reads update sets back; it also keeps the per-technique success-rate
+// bookkeeping behind Table 3 of the paper.
+package lap
+
+import "sort"
+
+// DefaultAffinityFactor is the paper's threshold: a processor belongs to
+// the affinity set when its transfer count is at least 60% greater than
+// the releaser's average affinity for other processors. The paper's
+// authors call the value "admittedly arbitrary" and plan a threshold
+// study; SetAffinityFactor enables exactly that experiment.
+const DefaultAffinityFactor = 1.6
+
+// Predictor tracks one lock variable at its manager.
+type Predictor struct {
+	nprocs int
+	ns     int
+	factor float64
+
+	// waitQ is the FIFO of processors waiting for the lock.
+	waitQ []int
+	// virtQ is the virtual queue built from acquire notices.
+	virtQ []int
+	// aff[from*nprocs+to] counts ownership transfers from -> to.
+	aff []uint32
+
+	// Outstanding prediction, recorded when the lock was granted to the
+	// current holder and evaluated when it next transfers.
+	pending      bool
+	pendHolder   int
+	pendFull     []int
+	pendWaitQ    int // -1 if the waiting queue offered no candidate
+	pendWaitAff  []int
+	pendWaitVirt []int
+
+	Stats Stats
+}
+
+// Stats aggregates LAP accuracy for one lock (Table 3).
+type Stats struct {
+	// Acquires counts all grants of the lock.
+	Acquires uint64
+	// SelfTransfers counts grants where the acquirer was the previous
+	// holder (no prediction needed).
+	SelfTransfers uint64
+	// Evaluated counts grants to a different processor for which a
+	// prediction had been recorded.
+	Evaluated uint64
+	// Hits per technique combination.
+	HitFull, HitWaitQ, HitWaitAff, HitWaitVirt uint64
+	// NoticesSeen counts virtual-queue insertions.
+	NoticesSeen uint64
+}
+
+// Rate returns hits/evaluated as a percentage, or -1 if never evaluated.
+func rate(hits, evaluated uint64) float64 {
+	if evaluated == 0 {
+		return -1
+	}
+	return 100 * float64(hits) / float64(evaluated)
+}
+
+// RateFull returns the overall LAP success rate (%).
+func (s Stats) RateFull() float64 { return rate(s.HitFull, s.Evaluated) }
+
+// RateWaitQ returns the waiting-queue-only success rate (%).
+func (s Stats) RateWaitQ() float64 { return rate(s.HitWaitQ, s.Evaluated) }
+
+// RateWaitAff returns the waitQ+affinity success rate (%).
+func (s Stats) RateWaitAff() float64 { return rate(s.HitWaitAff, s.Evaluated) }
+
+// RateWaitVirt returns the waitQ+virtualQ success rate (%).
+func (s Stats) RateWaitVirt() float64 { return rate(s.HitWaitVirt, s.Evaluated) }
+
+// New builds a predictor for one lock.
+func New(nprocs, ns int) *Predictor {
+	if ns < 1 {
+		ns = 1
+	}
+	return &Predictor{
+		nprocs: nprocs,
+		ns:     ns,
+		factor: DefaultAffinityFactor,
+		aff:    make([]uint32, nprocs*nprocs),
+	}
+}
+
+// SetAffinityFactor overrides the affinity-set threshold multiplier (the
+// §2.1 footnote's planned sensitivity study). Values <= 0 restore the
+// default.
+func (p *Predictor) SetAffinityFactor(f float64) {
+	if f <= 0 {
+		f = DefaultAffinityFactor
+	}
+	p.factor = f
+}
+
+// Ns returns the configured update-set size.
+func (p *Predictor) Ns() int { return p.ns }
+
+// Enqueue appends a processor to the waiting queue (lock busy at request).
+func (p *Predictor) Enqueue(proc int) { p.waitQ = append(p.waitQ, proc) }
+
+// Dequeue pops the head of the waiting queue, or -1 if empty.
+func (p *Predictor) Dequeue() int {
+	if len(p.waitQ) == 0 {
+		return -1
+	}
+	h := p.waitQ[0]
+	p.waitQ = p.waitQ[1:]
+	return h
+}
+
+// QueueLen returns the waiting queue length.
+func (p *Predictor) QueueLen() int { return len(p.waitQ) }
+
+// Notice records an acquire notice: proc intends to take the lock soon.
+func (p *Predictor) Notice(proc int) {
+	p.Stats.NoticesSeen++
+	for _, q := range p.virtQ {
+		if q == proc {
+			return
+		}
+	}
+	p.virtQ = append(p.virtQ, proc)
+}
+
+// Granted must be called every time the manager hands the lock to a
+// processor. prev is the previous holder (the releaser), or -1 on the
+// first grant. It evaluates the outstanding prediction, updates the
+// affinity matrix, removes the grantee from the virtual queue, and records
+// the new prediction made on behalf of the grantee.
+func (p *Predictor) Granted(to, prev int) {
+	p.Stats.Acquires++
+	// Evaluate the prediction recorded at the previous grant. A transfer
+	// back to the releaser itself needs no prediction (the data never
+	// leaves the node), so it counts as a trivially correct event, as in
+	// the paper's success-rate accounting.
+	if p.pending && prev == p.pendHolder {
+		p.Stats.Evaluated++
+		if to == prev {
+			p.Stats.SelfTransfers++
+			p.Stats.HitFull++
+			p.Stats.HitWaitQ++
+			p.Stats.HitWaitAff++
+			p.Stats.HitWaitVirt++
+		} else {
+			if contains(p.pendFull, to) {
+				p.Stats.HitFull++
+			}
+			if p.pendWaitQ == to {
+				p.Stats.HitWaitQ++
+			}
+			if p.pendWaitQ == to || contains(p.pendWaitAff, to) {
+				p.Stats.HitWaitAff++
+			}
+			if p.pendWaitQ == to || contains(p.pendWaitVirt, to) {
+				p.Stats.HitWaitVirt++
+			}
+		}
+	}
+	// Update transfer affinity.
+	if prev >= 0 && prev != to {
+		p.aff[prev*p.nprocs+to]++
+	}
+	p.removeNotice(to)
+	// Record the prediction for the new holder's eventual release.
+	p.pending = true
+	p.pendHolder = to
+	p.pendFull = p.UpdateSet(to)
+	p.pendWaitQ = -1
+	if len(p.waitQ) > 0 {
+		p.pendWaitQ = p.waitQ[0]
+	}
+	p.pendWaitAff = p.techniqueWaitAff(to)
+	p.pendWaitVirt = p.techniqueWaitVirt(to)
+}
+
+func (p *Predictor) removeNotice(proc int) {
+	for i, q := range p.virtQ {
+		if q == proc {
+			p.virtQ = append(p.virtQ[:i], p.virtQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// AffinitySet returns the processors whose affinity with holder (for this
+// lock) is at least AffinityFactor times the holder's average affinity for
+// other processors, ordered by descending affinity then ascending id.
+// An empty history yields an empty set.
+func (p *Predictor) AffinitySet(holder int) []int {
+	row := p.aff[holder*p.nprocs : (holder+1)*p.nprocs]
+	var sum uint64
+	for q, v := range row {
+		if q != holder {
+			sum += uint64(v)
+		}
+	}
+	if sum == 0 {
+		return nil
+	}
+	avg := float64(sum) / float64(p.nprocs-1)
+	thresh := p.factor * avg
+	var set []int
+	for q, v := range row {
+		if q != holder && v > 0 && float64(v) >= thresh {
+			set = append(set, q)
+		}
+	}
+	sortByAffinity(set, row)
+	return set
+}
+
+// UpdateSet computes the full LAP update set for the holder, following the
+// paper's four-step algorithm (§2.2):
+//  1. non-empty waiting queue -> its head, alone;
+//  2. start from the affinity set;
+//  3. fill from (virtual queue ∩ positive affinity);
+//  4. fill from the virtual queue, then remaining positive-affinity procs.
+func (p *Predictor) UpdateSet(holder int) []int {
+	if len(p.waitQ) > 0 {
+		return []int{p.waitQ[0]}
+	}
+	row := p.aff[holder*p.nprocs : (holder+1)*p.nprocs]
+	us := make([]int, 0, p.ns)
+	add := func(q int) bool {
+		if q == holder || contains(us, q) {
+			return len(us) < p.ns
+		}
+		us = append(us, q)
+		return len(us) < p.ns
+	}
+	// Step 2: affinity set (may by itself exceed Ns; the paper caps the
+	// update set size at Ns, so we truncate by affinity order).
+	for _, q := range p.AffinitySet(holder) {
+		if !add(q) {
+			return us
+		}
+	}
+	// Step 3: virtual queue members with positive affinity.
+	for _, q := range p.virtQ {
+		if q != holder && row[q] > 0 {
+			if !add(q) {
+				return us
+			}
+		}
+	}
+	// Step 4: virtual queue order, then positive affinity.
+	for _, q := range p.virtQ {
+		if !add(q) {
+			return us
+		}
+	}
+	rest := make([]int, 0, p.nprocs)
+	for q := 0; q < p.nprocs; q++ {
+		if q != holder && row[q] > 0 {
+			rest = append(rest, q)
+		}
+	}
+	sortByAffinity(rest, row)
+	for _, q := range rest {
+		if !add(q) {
+			return us
+		}
+	}
+	return us
+}
+
+// techniqueWaitAff is waitQ+affinity in isolation: queue head if any, else
+// the affinity set truncated to Ns.
+func (p *Predictor) techniqueWaitAff(holder int) []int {
+	if len(p.waitQ) > 0 {
+		return nil // the waitQ component covers it
+	}
+	set := p.AffinitySet(holder)
+	if len(set) > p.ns {
+		set = set[:p.ns]
+	}
+	return set
+}
+
+// techniqueWaitVirt is waitQ+virtualQ in isolation: queue head if any,
+// else the first Ns virtual-queue entries.
+func (p *Predictor) techniqueWaitVirt(holder int) []int {
+	if len(p.waitQ) > 0 {
+		return nil
+	}
+	n := p.ns
+	if n > len(p.virtQ) {
+		n = len(p.virtQ)
+	}
+	out := make([]int, n)
+	copy(out, p.virtQ[:n])
+	return out
+}
+
+// Affinity returns the transfer count from -> to.
+func (p *Predictor) Affinity(from, to int) uint32 {
+	return p.aff[from*p.nprocs+to]
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sortByAffinity orders processor ids by descending affinity count,
+// breaking ties by ascending id, deterministically.
+func sortByAffinity(procs []int, row []uint32) {
+	sort.Slice(procs, func(i, j int) bool {
+		a, b := procs[i], procs[j]
+		if row[a] != row[b] {
+			return row[a] > row[b]
+		}
+		return a < b
+	})
+}

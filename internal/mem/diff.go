@@ -1,0 +1,169 @@
+package mem
+
+import "fmt"
+
+// DiffRun is one contiguous range of modified bytes within a page.
+type DiffRun struct {
+	Off  int
+	Data []byte
+}
+
+// Diff is the encoded set of modifications made to one page: the classic
+// SW-DSM diff produced by comparing a page against its twin at word
+// granularity and run-length encoding the changed ranges.
+type Diff struct {
+	Page int
+	Runs []DiffRun
+}
+
+// runHeaderBytes is the encoded size of a run header (offset + length).
+const runHeaderBytes = 8
+
+// MakeDiff compares cur against twin at the given word granularity and
+// returns the diff, or nil if the page is unchanged. The two slices must
+// be the same length (one page).
+func MakeDiff(page int, twin, cur []byte, wordBytes int) *Diff {
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("mem: diff size mismatch %d vs %d", len(twin), len(cur)))
+	}
+	var d *Diff
+	n := len(cur)
+	i := 0
+	for i < n {
+		w := wordBytes
+		if i+w > n {
+			w = n - i
+		}
+		if bytesEqual(twin[i:i+w], cur[i:i+w]) {
+			i += w
+			continue
+		}
+		// Extend the run over consecutive modified words.
+		start := i
+		for i < n {
+			w = wordBytes
+			if i+w > n {
+				w = n - i
+			}
+			if bytesEqual(twin[i:i+w], cur[i:i+w]) {
+				break
+			}
+			i += w
+		}
+		if d == nil {
+			d = &Diff{Page: page}
+		}
+		run := DiffRun{Off: start, Data: make([]byte, i-start)}
+		copy(run.Data, cur[start:i])
+		d.Runs = append(d.Runs, run)
+	}
+	return d
+}
+
+// Apply patches the diff into dst (one page of bytes).
+func (d *Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:r.Off+len(r.Data)], r.Data)
+	}
+}
+
+// DataBytes returns the number of modified bytes carried.
+func (d *Diff) DataBytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// EncodedBytes returns the wire size of the diff (run headers + data).
+func (d *Diff) EncodedBytes() int {
+	return len(d.Runs)*runHeaderBytes + d.DataBytes()
+}
+
+// Covers reports whether the diff modifies the byte at off.
+func (d *Diff) Covers(off int) bool {
+	for _, r := range d.Runs {
+		if off >= r.Off && off < r.Off+len(r.Data) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the diff.
+func (d *Diff) Clone() *Diff {
+	c := &Diff{Page: d.Page, Runs: make([]DiffRun, len(d.Runs))}
+	for i, r := range d.Runs {
+		c.Runs[i] = DiffRun{Off: r.Off, Data: append([]byte(nil), r.Data...)}
+	}
+	return c
+}
+
+// MergeDiffs folds a sequence of diffs for the same page (oldest first)
+// into a single diff, later writes overriding earlier ones — the merged
+// diff a lock releaser pushes to its update set in AEC. Returns nil when
+// the input is empty.
+func MergeDiffs(pageSize int, diffs ...*Diff) *Diff {
+	var page = -1
+	present := make([]bool, pageSize)
+	buf := make([]byte, pageSize)
+	any := false
+	for _, d := range diffs {
+		if d == nil {
+			continue
+		}
+		if page == -1 {
+			page = d.Page
+		} else if d.Page != page {
+			panic(fmt.Sprintf("mem: merging diffs of pages %d and %d", page, d.Page))
+		}
+		for _, r := range d.Runs {
+			copy(buf[r.Off:r.Off+len(r.Data)], r.Data)
+			for i := r.Off; i < r.Off+len(r.Data); i++ {
+				present[i] = true
+			}
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := &Diff{Page: page}
+	i := 0
+	for i < pageSize {
+		if !present[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < pageSize && present[i] {
+			i++
+		}
+		run := DiffRun{Off: start, Data: make([]byte, i-start)}
+		copy(run.Data, buf[start:i])
+		out.Runs = append(out.Runs, run)
+	}
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteNotice records that a processor modified a page outside of critical
+// sections during a barrier step; receivers invalidate the page and later
+// fetch the corresponding diff from the writer.
+type WriteNotice struct {
+	Page   int
+	Writer int
+	Step   int
+}

@@ -1,0 +1,137 @@
+package mem
+
+// Frame is one processor's copy of one shared page, with the software
+// MMU bits a SW-DSM keeps per page. With no page-fault hardware available,
+// the Valid/WriteOK bits are checked explicitly on every DSM access, which
+// is the object-level coherence simulation this reproduction uses in place
+// of mprotect/SIGSEGV.
+type Frame struct {
+	// Data is this processor's copy of the page; nil until first touched.
+	Data []byte
+	// Valid: the copy may be read.
+	Valid bool
+	// WriteEpoch: writes are allowed without a protocol trap while the
+	// owner's epoch equals this value. Protocols bump the processor
+	// epoch at synchronization points to force one write trap per page
+	// per interval, which is when twins are created.
+	WriteEpoch uint64
+	// Twin is the pristine copy made at the first write of an interval;
+	// nil when no twin exists.
+	Twin []byte
+	// EverValid: the page has been valid here at some point (cold-start
+	// fault detection).
+	EverValid bool
+}
+
+// ProcMem is one processor's view of the whole shared space.
+type ProcMem struct {
+	space  *Space
+	frames []Frame
+}
+
+// NewProcMem builds the per-processor memory for the space. Pages homed at
+// proc start valid with the initial image; everything else starts invalid
+// (cold), as on a real network of workstations.
+func NewProcMem(space *Space, proc int) *ProcMem {
+	m := &ProcMem{space: space, frames: make([]Frame, space.Pages())}
+	for pg := range m.frames {
+		if space.InitHome(pg) == proc {
+			f := &m.frames[pg]
+			f.Data = m.freshCopy(pg)
+			f.Valid = true
+			f.EverValid = true
+			f.WriteEpoch = 0
+		}
+	}
+	return m
+}
+
+func (m *ProcMem) freshCopy(page int) []byte {
+	ps := m.space.PageSize()
+	b := make([]byte, ps)
+	base := m.space.PageBase(page)
+	img := m.space.InitImage()
+	if base < len(img) {
+		copy(b, img[base:])
+	}
+	return b
+}
+
+// Frame returns the frame for a page, materializing backing store lazily.
+func (m *ProcMem) Frame(page int) *Frame {
+	f := &m.frames[page]
+	if f.Data == nil {
+		f.Data = m.freshCopy(page)
+	}
+	return f
+}
+
+// Peek returns the frame without materializing it (may have nil Data).
+func (m *ProcMem) Peek(page int) *Frame { return &m.frames[page] }
+
+// Pages returns the number of pages.
+func (m *ProcMem) Pages() int { return len(m.frames) }
+
+// Space returns the global space this memory views.
+func (m *ProcMem) Space() *Space { return m.space }
+
+// Read copies shared memory [a, a+len(dst)) into dst. The caller (the DSM
+// context) is responsible for having made the pages valid first.
+func (m *ProcMem) Read(a Addr, dst []byte) {
+	ps := m.space.PageSize()
+	for len(dst) > 0 {
+		pg := m.space.PageOf(a)
+		off := a - m.space.PageBase(pg)
+		n := ps - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		copy(dst[:n], m.Frame(pg).Data[off:off+n])
+		dst = dst[n:]
+		a += n
+	}
+}
+
+// Write copies src into shared memory at a. The caller is responsible for
+// write permission (twin creation) on the pages first.
+func (m *ProcMem) Write(a Addr, src []byte) {
+	ps := m.space.PageSize()
+	for len(src) > 0 {
+		pg := m.space.PageOf(a)
+		off := a - m.space.PageBase(pg)
+		n := ps - off
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(m.Frame(pg).Data[off:off+n], src[:n])
+		src = src[n:]
+		a += n
+	}
+}
+
+// MakeTwin snapshots the page so later modifications can be diffed.
+func (m *ProcMem) MakeTwin(page int) {
+	f := m.Frame(page)
+	if f.Twin == nil {
+		f.Twin = make([]byte, len(f.Data))
+	}
+	copy(f.Twin, f.Data)
+}
+
+// DropTwin discards the page's twin.
+func (m *ProcMem) DropTwin(page int) {
+	m.frames[page].Twin = nil
+}
+
+// Invalidate marks the page unreadable here.
+func (m *ProcMem) Invalidate(page int) {
+	m.frames[page].Valid = false
+}
+
+// Validate marks the page readable, replacing its contents.
+func (m *ProcMem) Validate(page int, contents []byte) {
+	f := m.Frame(page)
+	copy(f.Data, contents)
+	f.Valid = true
+	f.EverValid = true
+}

@@ -1,0 +1,237 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceAllocPageAligned(t *testing.T) {
+	s := NewSpace(4096)
+	a := s.Alloc("a", 100, 0)
+	b := s.Alloc("b", 100, 1)
+	if a != 0 {
+		t.Fatalf("first alloc at %d, want 0", a)
+	}
+	if b != 4096 {
+		t.Fatalf("second alloc at %d, want 4096 (page aligned)", b)
+	}
+	if s.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", s.Pages())
+	}
+	if s.InitHome(0) != 0 || s.InitHome(1) != 1 {
+		t.Fatalf("homes: %d %d", s.InitHome(0), s.InitHome(1))
+	}
+}
+
+func TestSpaceAllocPacked(t *testing.T) {
+	s := NewSpace(4096)
+	a := s.AllocPacked("a", 100, 0)
+	b := s.AllocPacked("b", 100, 0)
+	if b != a+100 {
+		t.Fatalf("packed alloc at %d, want %d", b, a+100)
+	}
+}
+
+func TestSpaceInitImage(t *testing.T) {
+	s := NewSpace(4096)
+	a := s.Alloc("x", 16, 0)
+	s.WriteInit(a+4, []byte{1, 2, 3, 4})
+	img := s.InitImage()
+	if !bytes.Equal(img[a+4:a+8], []byte{1, 2, 3, 4}) {
+		t.Fatal("init image not written")
+	}
+}
+
+func TestPageOfAndBase(t *testing.T) {
+	s := NewSpace(4096)
+	s.Alloc("x", 3*4096, 0)
+	if s.PageOf(0) != 0 || s.PageOf(4095) != 0 || s.PageOf(4096) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+	if s.PageBase(2) != 8192 {
+		t.Fatal("PageBase wrong")
+	}
+}
+
+func TestProcMemHomeValidity(t *testing.T) {
+	s := NewSpace(4096)
+	s.Alloc("a", 4096, 0)
+	s.Alloc("b", 4096, 3)
+	m0 := NewProcMem(s, 0)
+	m3 := NewProcMem(s, 3)
+	if !m0.Peek(0).Valid || m0.Peek(1).Valid {
+		t.Fatal("proc 0 should hold page 0 only")
+	}
+	if m3.Peek(0).Valid || !m3.Peek(1).Valid {
+		t.Fatal("proc 3 should hold page 1 only")
+	}
+}
+
+func TestProcMemReadWriteSpanningPages(t *testing.T) {
+	s := NewSpace(4096)
+	s.Alloc("x", 2*4096, 0)
+	m := NewProcMem(s, 0)
+	src := make([]byte, 100)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	m.Write(4096-50, src)
+	dst := make([]byte, 100)
+	m.Read(4096-50, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("spanning read/write mismatch")
+	}
+}
+
+func TestTwinLifecycle(t *testing.T) {
+	s := NewSpace(4096)
+	s.Alloc("x", 4096, 0)
+	m := NewProcMem(s, 0)
+	m.Write(0, []byte{1})
+	m.MakeTwin(0)
+	m.Write(0, []byte{2})
+	f := m.Frame(0)
+	if f.Twin[0] != 1 || f.Data[0] != 2 {
+		t.Fatal("twin should snapshot pre-write state")
+	}
+	m.DropTwin(0)
+	if m.Frame(0).Twin != nil {
+		t.Fatal("twin not dropped")
+	}
+}
+
+func TestInvalidateValidate(t *testing.T) {
+	s := NewSpace(4096)
+	s.Alloc("x", 4096, 0)
+	m := NewProcMem(s, 0)
+	m.Invalidate(0)
+	if m.Peek(0).Valid {
+		t.Fatal("invalidate failed")
+	}
+	contents := make([]byte, 4096)
+	contents[7] = 42
+	m.Validate(0, contents)
+	f := m.Frame(0)
+	if !f.Valid || f.Data[7] != 42 {
+		t.Fatal("validate failed")
+	}
+}
+
+func TestMakeDiffEmpty(t *testing.T) {
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	if d := MakeDiff(0, a, b, 4); d != nil {
+		t.Fatal("identical pages should produce nil diff")
+	}
+}
+
+func TestMakeDiffRuns(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 1
+	cur[5] = 2  // words 0 and 1 modified -> one run [0,8)
+	cur[20] = 3 // word 5 -> second run [20,24)
+	d := MakeDiff(3, twin, cur, 4)
+	if d == nil || d.Page != 3 {
+		t.Fatal("diff missing")
+	}
+	if len(d.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(d.Runs))
+	}
+	if d.Runs[0].Off != 0 || len(d.Runs[0].Data) != 8 {
+		t.Fatalf("run0 = %+v", d.Runs[0])
+	}
+	if d.Runs[1].Off != 20 || len(d.Runs[1].Data) != 4 {
+		t.Fatalf("run1 = %+v", d.Runs[1])
+	}
+	if d.DataBytes() != 12 || d.EncodedBytes() != 12+2*8 {
+		t.Fatalf("sizes: %d %d", d.DataBytes(), d.EncodedBytes())
+	}
+	if !d.Covers(5) || d.Covers(10) || !d.Covers(20) {
+		t.Fatal("Covers wrong")
+	}
+}
+
+// TestDiffRoundTripProperty: applying MakeDiff(twin, cur) to a copy of twin
+// reproduces cur exactly, for arbitrary modifications.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed []byte) bool {
+		const ps = 256
+		twin := make([]byte, ps)
+		cur := make([]byte, ps)
+		for i := range twin {
+			twin[i] = byte(i * 7)
+			cur[i] = twin[i]
+		}
+		for i, b := range seed {
+			cur[(int(b)*13+i)%ps] = byte(i)
+		}
+		d := MakeDiff(0, twin, cur, 4)
+		out := append([]byte(nil), twin...)
+		if d != nil {
+			d.Apply(out)
+		}
+		return bytes.Equal(out, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeDiffsProperty: merging two sequential diffs equals diffing the
+// final state directly.
+func TestMergeDiffsProperty(t *testing.T) {
+	f := func(mods1, mods2 []byte) bool {
+		const ps = 256
+		base := make([]byte, ps)
+		for i := range base {
+			base[i] = byte(i)
+		}
+		v1 := append([]byte(nil), base...)
+		for i, b := range mods1 {
+			v1[(int(b)*11+i)%ps] = byte(i + 100)
+		}
+		v2 := append([]byte(nil), v1...)
+		for i, b := range mods2 {
+			v2[(int(b)*17+i)%ps] = byte(i + 200)
+		}
+		d1 := MakeDiff(0, base, v1, 4)
+		d2 := MakeDiff(0, v1, v2, 4)
+		merged := MergeDiffs(ps, d1, d2)
+		out := append([]byte(nil), base...)
+		if merged != nil {
+			merged.Apply(out)
+		}
+		return bytes.Equal(out, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDiffsNil(t *testing.T) {
+	if MergeDiffs(64, nil, nil) != nil {
+		t.Fatal("merging nothing should be nil")
+	}
+}
+
+func TestMergeDiffsLaterWins(t *testing.T) {
+	d1 := &Diff{Page: 0, Runs: []DiffRun{{Off: 0, Data: []byte{1, 1, 1, 1}}}}
+	d2 := &Diff{Page: 0, Runs: []DiffRun{{Off: 0, Data: []byte{2, 2, 2, 2}}}}
+	m := MergeDiffs(16, d1, d2)
+	out := make([]byte, 16)
+	m.Apply(out)
+	if out[0] != 2 {
+		t.Fatal("later diff should win")
+	}
+}
+
+func TestDiffClone(t *testing.T) {
+	d := &Diff{Page: 1, Runs: []DiffRun{{Off: 4, Data: []byte{9, 9, 9, 9}}}}
+	c := d.Clone()
+	c.Runs[0].Data[0] = 1
+	if d.Runs[0].Data[0] != 9 {
+		t.Fatal("clone shares storage")
+	}
+}

@@ -1,0 +1,113 @@
+// Package mem implements the software shared-memory substrate of the
+// reproduction: a global shared address space carved into pages, per-
+// processor page frames with valid/twin state, run-length-encoded diffs,
+// diff merging, and write notices — the building blocks every SW-DSM
+// protocol in this repository (AEC, AEC-noLAP, TreadMarks) manipulates.
+package mem
+
+import "fmt"
+
+// Addr is a byte offset into the global shared address space.
+type Addr = int
+
+// Region describes one named allocation in the shared space.
+type Region struct {
+	Name string
+	Base Addr
+	Size int
+	Home int // processor holding the initial valid copy
+}
+
+// Space is the global shared address space: a deterministic bump allocator
+// plus the initial memory image written by application init code.
+type Space struct {
+	pageSize  int
+	pageShift uint
+	size      int
+	regions   []Region
+	init      []byte
+	homes     []int // per page initial home
+}
+
+// NewSpace builds an empty space with the given page size (a power of two).
+func NewSpace(pageSize int) *Space {
+	s := &Space{pageSize: pageSize}
+	for 1<<s.pageShift < pageSize {
+		s.pageShift++
+	}
+	return s
+}
+
+// PageSize returns the coherence unit in bytes.
+func (s *Space) PageSize() int { return s.pageSize }
+
+// Pages returns the number of pages currently allocated.
+func (s *Space) Pages() int { return (s.size + s.pageSize - 1) / s.pageSize }
+
+// Size returns the allocated extent in bytes.
+func (s *Space) Size() int { return s.size }
+
+// PageOf returns the page number containing the address.
+func (s *Space) PageOf(a Addr) int { return a >> s.pageShift }
+
+// PageBase returns the first address of a page.
+func (s *Space) PageBase(page int) Addr { return page << s.pageShift }
+
+// Alloc reserves size bytes, page-aligned, homed at the given processor,
+// and returns the base address. Page alignment keeps distinct regions from
+// false-sharing a page unless the application asks for it via AllocPacked.
+func (s *Space) Alloc(name string, size, home int) Addr {
+	// Align to page.
+	if rem := s.size % s.pageSize; rem != 0 {
+		s.size += s.pageSize - rem
+	}
+	return s.allocAt(name, size, home)
+}
+
+// AllocPacked reserves size bytes without page alignment, allowing regions
+// to share pages (deliberate false sharing, as real applications exhibit).
+func (s *Space) AllocPacked(name string, size, home int) Addr {
+	return s.allocAt(name, size, home)
+}
+
+func (s *Space) allocAt(name string, size, home int) Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: allocation %q with non-positive size %d", name, size))
+	}
+	base := s.size
+	s.size += size
+	s.regions = append(s.regions, Region{Name: name, Base: base, Size: size, Home: home})
+	if need := s.size; need > len(s.init) {
+		grown := make([]byte, pageCeil(need, s.pageSize))
+		copy(grown, s.init)
+		s.init = grown
+	}
+	for len(s.homes) < s.Pages() {
+		s.homes = append(s.homes, home)
+	}
+	return base
+}
+
+// Regions returns the allocation table.
+func (s *Space) Regions() []Region { return s.regions }
+
+// InitHome returns the processor holding the initial copy of a page.
+func (s *Space) InitHome(page int) int {
+	if page < len(s.homes) {
+		return s.homes[page]
+	}
+	return 0
+}
+
+// InitImage exposes the initial memory contents for bootstrapping frames.
+func (s *Space) InitImage() []byte { return s.init }
+
+// WriteInit stores initial contents at the given address; used by
+// application init hooks before the simulation starts.
+func (s *Space) WriteInit(a Addr, b []byte) {
+	copy(s.init[a:a+len(b)], b)
+}
+
+func pageCeil(n, page int) int {
+	return (n + page - 1) / page * page
+}

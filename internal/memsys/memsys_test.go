@@ -1,0 +1,178 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.NumProcs = 0 },
+		func(p *Params) { p.MeshW = 3 },
+		func(p *Params) { p.PageSize = 3000 },
+		func(p *Params) { p.CacheLineBytes = 0 },
+		func(p *Params) { p.WordBytes = 0 },
+		func(p *Params) { p.NetPathWidthBits = 12 },
+		func(p *Params) { p.TLBEntries = 0 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	p := Default()
+	for _, tc := range []struct{ bytes, want int }{
+		{0, 0}, {-4, 0}, {1, 1}, {4, 1}, {5, 2}, {4096, 1024},
+	} {
+		if got := p.Words(tc.bytes); got != tc.want {
+			t.Errorf("Words(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestMemCycles(t *testing.T) {
+	p := Default()
+	// 32-byte line: setup 9 + 2.25*8 words = 27.
+	if got := p.MemCycles(32); got != 27 {
+		t.Errorf("MemCycles(32) = %d, want 27", got)
+	}
+	if got := p.MemCycles(0); got != 0 {
+		t.Errorf("MemCycles(0) = %d, want 0", got)
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	p := Default()
+	if got := p.TwinCycles(4096); got != 5*1024 {
+		t.Errorf("TwinCycles(page) = %d, want %d", got, 5*1024)
+	}
+	if got := p.DiffCycles(4096); got != 7*1024 {
+		t.Errorf("DiffCycles(page) = %d, want %d", got, 7*1024)
+	}
+	if got := p.ListCycles(10); got != 60 {
+		t.Errorf("ListCycles(10) = %d, want 60", got)
+	}
+	if got := p.ListCycles(-1); got != 0 {
+		t.Errorf("ListCycles(-1) = %d, want 0", got)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(256*1024, 32)
+	if m := c.Access(0, 32); m != 1 {
+		t.Fatalf("first access misses = %d, want 1", m)
+	}
+	if m := c.Access(0, 32); m != 0 {
+		t.Fatalf("second access misses = %d, want 0", m)
+	}
+	if m := c.Access(0, 64); m != 1 {
+		t.Fatalf("extended access misses = %d, want 1 (second line)", m)
+	}
+	// Conflict: same index, different tag (capacity apart).
+	if m := c.Access(256*1024, 32); m != 1 {
+		t.Fatalf("conflict access misses = %d, want 1", m)
+	}
+	if m := c.Access(0, 32); m != 1 {
+		t.Fatalf("evicted line misses = %d, want 1", m)
+	}
+}
+
+func TestCacheInvalidateRange(t *testing.T) {
+	c := NewCache(1024, 32)
+	c.Access(0, 256)
+	c.InvalidateRange(64, 64)
+	if m := c.Access(0, 64); m != 0 {
+		t.Errorf("untouched lines should hit, got %d misses", m)
+	}
+	if m := c.Access(64, 64); m != 2 {
+		t.Errorf("invalidated lines should miss, got %d misses, want 2", m)
+	}
+	// Huge range resets everything.
+	c.Access(0, 1024)
+	c.InvalidateRange(0, 1<<20)
+	if m := c.Access(0, 1024); m != 32 {
+		t.Errorf("after full invalidation want 32 misses, got %d", m)
+	}
+}
+
+func TestCacheAccessProperty(t *testing.T) {
+	// Accessing the same range twice in a row never misses the second
+	// time, for any range.
+	f := func(addr uint16, n uint8) bool {
+		c := NewCache(4096, 32)
+		c.Access(int(addr), int(n)+1)
+		return c.Access(int(addr), int(n)+1) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(128)
+	if !tlb.Access(5) {
+		t.Fatal("first access should miss")
+	}
+	if tlb.Access(5) {
+		t.Fatal("second access should hit")
+	}
+	if !tlb.Access(5 + 128) {
+		t.Fatal("conflicting page should miss")
+	}
+	if tlb.Access(5 + 128) {
+		t.Fatal("conflicting page now resident")
+	}
+	if !tlb.Access(5) {
+		t.Fatal("evicted page should miss again")
+	}
+}
+
+func TestBusFIFO(t *testing.T) {
+	b := NewBus(10, 2)
+	done1 := b.Transfer(100, 5) // occupies 10+10=20 -> done 120
+	if done1 != 120 {
+		t.Fatalf("done1 = %d, want 120", done1)
+	}
+	// A requester arriving at 110 queues behind: starts 120, done 140.
+	done2 := b.Transfer(110, 5)
+	if done2 != 140 {
+		t.Fatalf("done2 = %d, want 140", done2)
+	}
+	if b.WaitCycles != 10 {
+		t.Fatalf("WaitCycles = %d, want 10", b.WaitCycles)
+	}
+	// An idle gap: request at 1000 starts immediately.
+	if done3 := b.Transfer(1000, 0); done3 != 1010 {
+		t.Fatalf("done3 = %d, want 1010", done3)
+	}
+}
+
+func TestBusMonotonic(t *testing.T) {
+	// Completion times never go backwards regardless of request times.
+	f := func(times []uint16) bool {
+		b := NewBus(5, 1.5)
+		var last uint64
+		for _, tm := range times {
+			done := b.Transfer(uint64(tm), 3)
+			if done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

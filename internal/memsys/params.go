@@ -1,0 +1,163 @@
+// Package memsys models the per-node memory system of the simulated
+// network of workstations: the first-level data cache, the TLB, the memory
+// bus and the I/O bus, together with the global cost parameters of Table 1
+// of the AEC paper (Seidel, Bianchini, Amorim; ICPP 1997).
+//
+// All times are expressed in 10ns processor cycles, exactly as in the paper.
+// Fractional per-word costs (e.g. 2.25 cycles/word) are kept as float64 and
+// rounded once per operation, never per word.
+package memsys
+
+import "fmt"
+
+// Params holds the system parameters of Table 1 of the paper. The zero
+// value is not useful; start from Default and override fields as needed.
+type Params struct {
+	// NumProcs is the number of simulated workstation nodes.
+	NumProcs int
+	// TLBEntries is the number of TLB entries per node.
+	TLBEntries int
+	// TLBFillCycles is the TLB fill service time in cycles.
+	TLBFillCycles uint64
+	// InterruptCycles is the cost of taking any interrupt (message
+	// arrival, page fault trap) on the host processor.
+	InterruptCycles uint64
+	// PageSize is the coherence unit in bytes.
+	PageSize int
+	// CacheBytes is the total first-level data cache size.
+	CacheBytes int
+	// CacheLineBytes is the cache line size.
+	CacheLineBytes int
+	// WriteBufEntries is the size of the write buffer. The write buffer
+	// is modeled as absorbing all write latency unless more than
+	// WriteBufEntries cache misses are outstanding in one access burst,
+	// in which case the surplus misses stall.
+	WriteBufEntries int
+	// MemSetupCycles is the memory setup time.
+	MemSetupCycles uint64
+	// MemPerWordCycles is the memory access time per word.
+	MemPerWordCycles float64
+	// IOBusSetupCycles is the I/O bus setup time.
+	IOBusSetupCycles uint64
+	// IOBusPerWordCycles is the I/O bus access time per word.
+	IOBusPerWordCycles float64
+	// NetPathWidthBits is the network path width (bidirectional).
+	NetPathWidthBits int
+	// MsgOverheadCycles is the software messaging overhead per message.
+	MsgOverheadCycles uint64
+	// SwitchCycles is the per-hop switch latency.
+	SwitchCycles uint64
+	// WireCycles is the per-hop wire latency.
+	WireCycles uint64
+	// ListPerElemCycles is the protocol list processing cost per element.
+	ListPerElemCycles uint64
+	// TwinPerWordCycles is the page twinning cost per word (plus memory
+	// accesses, which are charged through the memory bus model).
+	TwinPerWordCycles float64
+	// DiffPerWordCycles is the diff application/creation cost per word
+	// (plus memory accesses).
+	DiffPerWordCycles float64
+	// WordBytes is the machine word size used by all per-word costs.
+	WordBytes int
+	// MeshW and MeshH give the mesh geometry; MeshW*MeshH must equal
+	// NumProcs.
+	MeshW, MeshH int
+	// MsgHeaderBytes is the fixed header size added to every message.
+	MsgHeaderBytes int
+}
+
+// Default returns the Table 1 default parameters: a 16-node (4x4 mesh)
+// network of workstations with 4KB pages and a 256KB direct-mapped cache.
+func Default() Params {
+	return Params{
+		NumProcs:           16,
+		TLBEntries:         128,
+		TLBFillCycles:      100,
+		InterruptCycles:    4000,
+		PageSize:           4096,
+		CacheBytes:         256 * 1024,
+		CacheLineBytes:     32,
+		WriteBufEntries:    4,
+		MemSetupCycles:     9,
+		MemPerWordCycles:   2.25,
+		IOBusSetupCycles:   12,
+		IOBusPerWordCycles: 3,
+		NetPathWidthBits:   16,
+		MsgOverheadCycles:  400,
+		SwitchCycles:       4,
+		WireCycles:         2,
+		ListPerElemCycles:  6,
+		TwinPerWordCycles:  5,
+		DiffPerWordCycles:  7,
+		WordBytes:          4,
+		MeshW:              4,
+		MeshH:              4,
+		MsgHeaderBytes:     32,
+	}
+}
+
+// Validate reports whether the parameter set is internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.NumProcs <= 0:
+		return errf("NumProcs must be positive, got %d", p.NumProcs)
+	case p.MeshW*p.MeshH != p.NumProcs:
+		return errf("mesh %dx%d does not cover %d processors", p.MeshW, p.MeshH, p.NumProcs)
+	case p.PageSize <= 0 || p.PageSize&(p.PageSize-1) != 0:
+		return errf("PageSize must be a positive power of two, got %d", p.PageSize)
+	case p.CacheLineBytes <= 0 || p.CacheBytes%p.CacheLineBytes != 0:
+		return errf("cache %dB not divisible into %dB lines", p.CacheBytes, p.CacheLineBytes)
+	case p.WordBytes <= 0:
+		return errf("WordBytes must be positive, got %d", p.WordBytes)
+	case p.NetPathWidthBits <= 0 || p.NetPathWidthBits%8 != 0:
+		return errf("NetPathWidthBits must be a positive multiple of 8, got %d", p.NetPathWidthBits)
+	case p.TLBEntries <= 0:
+		return errf("TLBEntries must be positive, got %d", p.TLBEntries)
+	}
+	return nil
+}
+
+// Words converts a byte count to whole machine words, rounding up.
+func (p Params) Words(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + p.WordBytes - 1) / p.WordBytes
+}
+
+// MemCycles returns the cost of moving n bytes through local memory:
+// setup plus the per-word access time.
+func (p Params) MemCycles(bytes int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return p.MemSetupCycles + round(p.MemPerWordCycles*float64(p.Words(bytes)))
+}
+
+// TwinCycles returns the processor cost of twinning a page of the given
+// size (the memory traffic is charged separately through the bus model).
+func (p Params) TwinCycles(bytes int) uint64 {
+	return round(p.TwinPerWordCycles * float64(p.Words(bytes)))
+}
+
+// DiffCycles returns the processor cost of creating or applying a diff
+// covering the given number of bytes of page data scanned or patched.
+func (p Params) DiffCycles(bytes int) uint64 {
+	return round(p.DiffPerWordCycles * float64(p.Words(bytes)))
+}
+
+// ListCycles returns the protocol list processing cost for n elements.
+func (p Params) ListCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return p.ListPerElemCycles * uint64(n)
+}
+
+func round(f float64) uint64 {
+	return uint64(f + 0.5)
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

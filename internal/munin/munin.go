@@ -1,0 +1,611 @@
+// Package munin implements a Munin-style write-shared protocol (Carter,
+// Bennett, Zwaenepoel): eager release consistency with an update-based,
+// multiple-writer coherence scheme. At every release the modifications
+// made since the last release are diffed and *pushed to every processor
+// sharing the modified pages*, and the release blocks until the updates
+// have been applied everywhere — the communication profile the AEC paper
+// contrasts itself against in §1/§6.
+//
+// The package also implements the paper's suggestion that "in
+// release-consistent systems such as Munin, LAP can be used to restrict
+// the update traffic": with Options.UseLAP, releases of lock-protected
+// data update only the LAP update set and *invalidate* the remaining
+// sharers, turning the protocol into a prediction-driven update/invalidate
+// hybrid.
+package munin
+
+import (
+	"fmt"
+	"sort"
+
+	"aecdsm/internal/lap"
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Message kinds.
+const (
+	kAcqReq = iota
+	kGrant
+	kRel
+	kUpdate    // releaser -> page home: diff + distribution policy
+	kFwdUpdate // home -> sharer: diff to apply
+	kFwdInval  // home -> sharer outside the update set: invalidate
+	kHomeAck   // home -> releaser: forward fan-out size
+	kMemberAck // sharer -> releaser: update applied
+	kPageReq
+	kPageRep
+	kBarArrive
+	kBarComplete
+)
+
+// Options configures the protocol.
+type Options struct {
+	// UseLAP restricts release-time updates to the LAP update set,
+	// invalidating the remaining sharers (the AEC paper's §1 proposal).
+	UseLAP bool
+	// Ns is the LAP update set size (default 2).
+	Ns int
+}
+
+// Munin is the protocol instance.
+type Munin struct {
+	opt Options
+
+	e    *sim.Engine
+	s    *mem.Space
+	ctxs []*proto.Ctx
+	ps   []*procState
+
+	locks []*lockState
+	pages []pageState // per-page home-side state (lives at InitHome)
+
+	bar struct {
+		got, ready int
+		waiters    []*proto.Ctx
+	}
+
+	nprocs   int
+	pageSize int
+	numLocks int
+}
+
+type procState struct {
+	id    int
+	dirty map[int]bool // pages with live twins since the last flush
+	// fetching marks pages with an in-flight base fetch; stale marks
+	// fetches crossed by an invalidation or update (the reply data
+	// serialized before that event at the home, so it must be refetched).
+	fetching map[int]bool
+	stale    map[int]bool
+
+	inCS    int
+	curLock int
+
+	grant     bool
+	curLockUS []int // update set granted with the currently held lock
+	homeAcks  int   // flush acks from homes
+	memWanted int   // member acks expected (learned from home acks)
+	memAcks   int
+	barOut    bool
+}
+
+type lockState struct {
+	pred   *lap.Predictor
+	held   bool
+	holder int
+	last   int
+	curUS  []int
+}
+
+type pageState struct {
+	copyset uint32 // sharer bitmask, maintained at the page's home
+}
+
+type acqReq struct{ lock, from int }
+type grantMsg struct {
+	lock int
+	us   []int
+}
+type relMsg struct{ lock int }
+
+type updateMsg struct {
+	page     int
+	diff     *mem.Diff
+	releaser int
+	us       []int // update targets when LAP restricts; nil = everyone
+	restrict bool
+}
+
+type fwdMsg struct {
+	page     int
+	diff     *mem.Diff
+	releaser int
+}
+
+type pageReq struct {
+	page int
+	tk   *token
+	from int
+}
+
+type token struct {
+	done bool
+	data []byte
+}
+
+// DebugPage, when >= 0, traces coherence events on that page (tests).
+var DebugPage = -1
+
+func dbg(format string, args ...any) {
+	if DebugPage >= 0 {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// New builds a Munin-style protocol instance.
+func New(opt Options) *Munin {
+	if opt.Ns <= 0 {
+		opt.Ns = 2
+	}
+	return &Munin{opt: opt, numLocks: 1}
+}
+
+// Name implements proto.Protocol.
+func (pr *Munin) Name() string {
+	if pr.opt.UseLAP {
+		return "Munin+LAP"
+	}
+	return "Munin"
+}
+
+// SetNumLocks implements proto.NumLocksProvider.
+func (pr *Munin) SetNumLocks(n int) {
+	if n > pr.numLocks {
+		pr.numLocks = n
+	}
+}
+
+// NumLocks returns the number of lock variables managed.
+func (pr *Munin) NumLocks() int { return len(pr.locks) }
+
+// LockLAP returns the LAP statistics recorded at the lock's manager.
+func (pr *Munin) LockLAP(lock int) lap.Stats { return pr.locks[lock].pred.Stats }
+
+// Attach implements proto.Protocol.
+func (pr *Munin) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
+	if len(ctxs) > 32 {
+		panic("munin: copysets support at most 32 processors")
+	}
+	pr.e = e
+	pr.s = s
+	pr.ctxs = ctxs
+	pr.nprocs = len(ctxs)
+	pr.pageSize = s.PageSize()
+	pr.ps = make([]*procState, pr.nprocs)
+	for i := range pr.ps {
+		pr.ps[i] = &procState{id: i, dirty: map[int]bool{},
+			fetching: map[int]bool{}, stale: map[int]bool{}, curLock: -1}
+	}
+	pr.locks = make([]*lockState, pr.numLocks)
+	for i := range pr.locks {
+		pr.locks[i] = &lockState{pred: lap.New(pr.nprocs, pr.opt.Ns), holder: -1, last: -1}
+	}
+	pr.pages = make([]pageState, s.Pages())
+	for pg := range pr.pages {
+		pr.pages[pg].copyset = 1 << uint(s.InitHome(pg))
+	}
+}
+
+func (pr *Munin) mgrOf(lock int) int  { return lock % pr.nprocs }
+func (pr *Munin) homeOf(page int) int { return pr.s.InitHome(page) }
+
+const barMgr = 0
+
+// Done implements proto.Protocol.
+func (pr *Munin) Done(c *proto.Ctx) {}
+
+// Notice implements proto.Protocol: feeds the LAP virtual queue when LAP
+// is enabled.
+func (pr *Munin) Notice(c *proto.Ctx, lock int) {
+	if !pr.opt.UseLAP {
+		return
+	}
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq+100, 8, lock,
+		func(s *sim.Svc, m *sim.Msg) {
+			s.ChargeList(1)
+			pr.locks[m.Payload.(int)].pred.Notice(m.From)
+		})
+}
+
+// Fault implements proto.Protocol: fetch the page from its home (which is
+// kept current by the eager updates), and twin on writes. If the local
+// copy carries uncommitted modifications (this is a multiple-writer
+// protocol: an invalidation can land on a page another lock's critical
+// section is still writing), they are preserved across the refetch and
+// reapplied over the fresh base.
+func (pr *Munin) Fault(c *proto.Ctx, page int, write bool) {
+	st := pr.ps[c.ID]
+	f := c.M.Frame(page)
+	if page == DebugPage {
+		dbg("[t%d] p%d FAULT pg%d write=%v valid=%v dirty=%v", pr.e.Now(), c.ID, page, write, f.Valid, st.dirty[page])
+	}
+	if !f.Valid {
+		pp := &pr.e.Params
+		var local *mem.Diff
+		if st.dirty[page] && f.Twin != nil {
+			local = mem.MakeDiff(page, f.Twin, f.Data, pp.WordBytes)
+			cost := pp.DiffCycles(pr.pageSize)
+			c.P.Stats.DiffCreateCycles += cost
+			c.P.Advance(cost, stats.Data)
+		}
+		home := pr.homeOf(page)
+		if home != c.ID {
+			// Refetch until no invalidation or update crossed the
+			// fetch: a reply whose data was serialized at the home
+			// before a coherence event we observed is stale.
+			for {
+				st.fetching[page] = true
+				st.stale[page] = false
+				tk := &token{}
+				c.P.Stats.PageFetches++
+				c.P.WaitTag = "munin pagereq"
+				pr.e.SendFrom(c.P, stats.Data, home, kPageReq, 8,
+					pageReq{page: page, tk: tk, from: c.ID}, pr.handlePageReq)
+				c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
+				c.P.Stats.PageFetchBytes += uint64(len(tk.data))
+				cost := c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize))
+				c.P.Advance(cost, stats.Data)
+				copy(f.Data, tk.data)
+				c.P.Cache.InvalidateRange(pr.s.PageBase(page), pr.pageSize)
+				st.fetching[page] = false
+				if !st.stale[page] {
+					break
+				}
+			}
+		}
+		if local != nil {
+			// Re-twin against the fresh base, then replay the
+			// uncommitted local modifications so the eventual flush
+			// diff still contains exactly our own writes.
+			c.M.MakeTwin(page)
+			cost := pp.DiffCycles(local.DataBytes())
+			c.P.Advance(cost, stats.Data)
+			local.Apply(f.Data)
+			base := pr.s.PageBase(page)
+			for _, r := range local.Runs {
+				c.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+			}
+		}
+		f.Valid = true
+		f.EverValid = true
+		if page == DebugPage {
+			dbg("[t%d] p%d VALIDATE pg%d val0=%d", pr.e.Now(), c.ID, page, int64(leU64(f.Data)))
+		}
+	}
+	if write {
+		pp := &pr.e.Params
+		cost := pp.TwinCycles(pr.pageSize)
+		cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize))
+		c.P.Stats.TwinCycles += cost
+		c.P.Advance(cost, stats.Data)
+		if f.Twin == nil {
+			c.M.MakeTwin(page)
+		}
+		st.dirty[page] = true
+		f.WriteEpoch = c.Epoch
+	}
+}
+
+// handlePageReq serves a page from its home and records the new sharer.
+func (pr *Munin) handlePageReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(pageReq)
+	ctx := pr.ctxs[m.To]
+	pr.pages[req.page].copyset |= 1 << uint(req.from)
+	if req.page == DebugPage {
+		dbg("[t%d] home p%d serves pg%d to p%d (cs=%x) val0=%d", pr.e.Now(), m.To, req.page, req.from,
+			pr.pages[req.page].copyset, int64(leU64(ctx.M.Frame(req.page).Data)))
+	}
+	data := make([]byte, pr.pageSize)
+	copy(data, ctx.M.Frame(req.page).Data)
+	s.ChargeMem(pr.pageSize)
+	s.Send(m.From, kPageRep, pr.pageSize, data, func(s2 *sim.Svc, m2 *sim.Msg) {
+		req.tk.data = m2.Payload.([]byte)
+		req.tk.done = true
+		s2.Wake(s2.P)
+	})
+}
+
+// Acquire implements proto.Protocol: plain queued lock transfer — eager RC
+// moved all coherence work to the release.
+func (pr *Munin) Acquire(c *proto.Ctx, lock int) {
+	st := pr.ps[c.ID]
+	st.grant = false
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq, 8,
+		acqReq{lock: lock, from: c.ID}, pr.handleAcqReq)
+	c.P.WaitTag = "munin grant"
+	c.P.WaitUntil(func() bool { return st.grant }, stats.Synch)
+	st.inCS++
+	st.curLock = lock
+	c.Epoch++
+}
+
+func (pr *Munin) handleAcqReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(acqReq)
+	l := pr.locks[req.lock]
+	s.ChargeList(1 + l.pred.QueueLen())
+	if l.held {
+		l.pred.Enqueue(req.from)
+		return
+	}
+	pr.grantLock(s, req.lock, req.from)
+}
+
+func (pr *Munin) grantLock(s *sim.Svc, lock, to int) {
+	l := pr.locks[lock]
+	l.pred.Granted(to, l.last)
+	l.held = true
+	l.holder = to
+	var us []int
+	if pr.opt.UseLAP {
+		us = l.pred.UpdateSet(to)
+		s.ChargeList(len(us) + 1)
+	}
+	l.curUS = us
+	s.Send(to, kGrant, 16+8*len(us), grantMsg{lock: lock, us: us},
+		func(s2 *sim.Svc, m2 *sim.Msg) {
+			g := m2.Payload.(grantMsg)
+			st := pr.ps[m2.To]
+			st.grant = true
+			pr.ps[m2.To].usForLock(g.lock, g.us)
+			s2.Wake(s2.P)
+		})
+}
+
+// usForLock stashes the grant's update set (a tiny per-proc map would be
+// overkill: only the currently held lock's set is ever needed).
+func (st *procState) usForLock(lock int, us []int) {
+	st.curLockUS = us
+}
+
+// Release implements proto.Protocol: flush all modifications eagerly to
+// every sharer (or, under LAP, to the update set with invalidations for
+// the rest), wait until they are applied, then hand the lock back.
+func (pr *Munin) Release(c *proto.Ctx, lock int) {
+	st := pr.ps[c.ID]
+	pr.flush(c, st, st.curLockUS, pr.opt.UseLAP)
+	st.inCS--
+	st.curLock = -1
+	c.Epoch++
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kRel, 8,
+		relMsg{lock: lock}, pr.handleRel)
+}
+
+func (pr *Munin) handleRel(s *sim.Svc, m *sim.Msg) {
+	r := m.Payload.(relMsg)
+	l := pr.locks[r.lock]
+	s.ChargeList(1)
+	l.held = false
+	l.holder = -1
+	l.last = m.From
+	if next := l.pred.Dequeue(); next >= 0 {
+		pr.grantLock(s, r.lock, next)
+	}
+}
+
+// flush diffs every dirty page and distributes the updates through the
+// page homes; blocks until every recipient has applied them (release
+// consistency requires the updates to be performed before the release
+// completes).
+func (pr *Munin) flush(c *proto.Ctx, st *procState, us []int, restrict bool) {
+	if len(st.dirty) == 0 {
+		return
+	}
+	pages := make([]int, 0, len(st.dirty))
+	for pg := range st.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+
+	st.homeAcks = 0
+	st.memWanted = 0
+	st.memAcks = 0
+	sent := 0
+	pp := &pr.e.Params
+	for _, pg := range pages {
+		f := c.M.Frame(pg)
+		if f.Twin == nil {
+			continue
+		}
+		d := mem.MakeDiff(pg, f.Twin, f.Data, pp.WordBytes)
+		cost := pp.DiffCycles(pr.pageSize)
+		cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize))
+		c.P.Stats.DiffCreateCycles += cost
+		c.P.Advance(cost, stats.Synch)
+		c.M.DropTwin(pg)
+		if d == nil {
+			continue
+		}
+		c.P.Stats.DiffsCreated++
+		c.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+		sent++
+		c.P.Stats.UpdatesPushed++
+		c.P.Stats.UpdateBytesPushed += uint64(d.EncodedBytes())
+		pr.e.SendFrom(c.P, stats.Synch, pr.homeOf(pg), kUpdate, d.EncodedBytes(),
+			updateMsg{page: pg, diff: d, releaser: c.ID, us: us, restrict: restrict},
+			pr.handleUpdate)
+	}
+	st.dirty = map[int]bool{}
+	if sent == 0 {
+		return
+	}
+	want := sent
+	c.P.WaitTag = "munin flush acks"
+	c.P.WaitUntil(func() bool {
+		return st.homeAcks >= want && st.memAcks >= st.memWanted
+	}, stats.Synch)
+}
+
+// handleUpdate runs at a page's home: apply the diff, forward it to the
+// sharers (or invalidate those outside the update set), and tell the
+// releaser how many member acks to expect.
+func (pr *Munin) handleUpdate(s *sim.Svc, m *sim.Msg) {
+	u := m.Payload.(updateMsg)
+	ctx := pr.ctxs[m.To]
+	pp := &pr.e.Params
+	if u.page == DebugPage {
+		dbg("[t%d] home p%d update pg%d from p%d restrict=%v us=%v cs=%x covers0=%v", pr.e.Now(), m.To,
+			u.page, u.releaser, u.restrict, u.us, pr.pages[u.page].copyset, u.diff.Covers(0))
+	}
+
+	// Apply locally (the home always stays current).
+	if m.To != u.releaser {
+		f := ctx.M.Frame(u.page)
+		cost := pp.DiffCycles(u.diff.DataBytes())
+		s.Charge(cost)
+		s.ChargeMem(u.diff.DataBytes())
+		ctx.P.Stats.DiffsApplied++
+		ctx.P.Stats.DiffApplyCycles += cost
+		u.diff.Apply(f.Data)
+		base := pr.s.PageBase(u.page)
+		for _, r := range u.diff.Runs {
+			ctx.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+		}
+	}
+
+	inUS := func(q int) bool {
+		if !u.restrict {
+			return true
+		}
+		for _, x := range u.us {
+			if x == q {
+				return true
+			}
+		}
+		return false
+	}
+
+	forwards := 0
+	cs := pr.pages[u.page].copyset
+	for q := 0; q < pr.nprocs; q++ {
+		if cs&(1<<uint(q)) == 0 || q == u.releaser || q == m.To {
+			continue
+		}
+		if inUS(q) {
+			forwards++
+			ctx.P.Stats.UpdatesPushed++
+			ctx.P.Stats.UpdateBytesPushed += uint64(u.diff.EncodedBytes())
+			s.Send(q, kFwdUpdate, u.diff.EncodedBytes(),
+				fwdMsg{page: u.page, diff: u.diff, releaser: u.releaser},
+				pr.handleFwdUpdate)
+		} else {
+			// LAP-restricted: invalidate instead of updating. The
+			// invalidation is acknowledged like an update — release
+			// consistency requires it to be performed before the
+			// release completes, or the next acquirer could read the
+			// stale copy.
+			forwards++
+			pr.pages[u.page].copyset &^= 1 << uint(q)
+			s.Send(q, kFwdInval, 8,
+				fwdMsg{page: u.page, releaser: u.releaser}, pr.handleFwdInval)
+		}
+	}
+	s.ChargeList(pr.nprocs)
+	// Tell the releaser how many member acks this page contributes.
+	s.Send(u.releaser, kHomeAck, 8, forwards, func(s2 *sim.Svc, m2 *sim.Msg) {
+		st := pr.ps[m2.To]
+		st.homeAcks++
+		st.memWanted += m2.Payload.(int)
+		s2.Wake(s2.P)
+	})
+}
+
+// handleFwdUpdate applies a forwarded update at a sharer and acks the
+// releaser.
+func (pr *Munin) handleFwdUpdate(s *sim.Svc, m *sim.Msg) {
+	u := m.Payload.(fwdMsg)
+	ctx := pr.ctxs[m.To]
+	pp := &pr.e.Params
+	f := ctx.M.Frame(u.page)
+	if u.page == DebugPage {
+		dbg("[t%d] p%d fwdupdate pg%d valid=%v", pr.e.Now(), m.To, u.page, f.Valid)
+	}
+	if !f.Valid && pr.ps[m.To].fetching[u.page] {
+		pr.ps[m.To].stale[u.page] = true
+	}
+	if f.Valid {
+		cost := pp.DiffCycles(u.diff.DataBytes())
+		s.Charge(cost)
+		s.ChargeMem(u.diff.DataBytes())
+		ctx.P.Stats.DiffsApplied++
+		ctx.P.Stats.DiffApplyCycles += cost
+		u.diff.Apply(f.Data)
+		base := pr.s.PageBase(u.page)
+		for _, r := range u.diff.Runs {
+			ctx.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+		}
+	}
+	s.Send(u.releaser, kMemberAck, 8, nil, func(s2 *sim.Svc, m2 *sim.Msg) {
+		pr.ps[m2.To].memAcks++
+		s2.Wake(s2.P)
+	})
+}
+
+// handleFwdInval invalidates a sharer outside the update set and acks the
+// releaser.
+func (pr *Munin) handleFwdInval(s *sim.Svc, m *sim.Msg) {
+	u := m.Payload.(fwdMsg)
+	ctx := pr.ctxs[m.To]
+	f := ctx.M.Peek(u.page)
+	if u.page == DebugPage {
+		dbg("[t%d] p%d fwdinval pg%d valid=%v", pr.e.Now(), m.To, u.page, f.Valid)
+	}
+	if !f.Valid && pr.ps[m.To].fetching[u.page] {
+		pr.ps[m.To].stale[u.page] = true
+	}
+	if f.Valid {
+		ctx.M.Invalidate(u.page)
+		ctx.P.Stats.Invalidations++
+	}
+	s.Send(u.releaser, kMemberAck, 8, nil, func(s2 *sim.Svc, m2 *sim.Msg) {
+		pr.ps[m2.To].memAcks++
+		s2.Wake(s2.P)
+	})
+}
+
+// Barrier implements proto.Protocol: flush everything (to all sharers —
+// barriers have no predicted acquirer), then a plain centralized barrier.
+func (pr *Munin) Barrier(c *proto.Ctx) {
+	st := pr.ps[c.ID]
+	pr.flush(c, st, nil, false)
+	st.barOut = false
+	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 8, c.ID, pr.handleBarArrive)
+	c.P.WaitTag = "munin barrier"
+	c.P.WaitUntil(func() bool { return st.barOut }, stats.Synch)
+	c.Epoch++
+}
+
+func (pr *Munin) handleBarArrive(s *sim.Svc, m *sim.Msg) {
+	pr.bar.got++
+	s.ChargeList(1)
+	if pr.bar.got < pr.nprocs {
+		return
+	}
+	pr.bar.got = 0
+	for q := 0; q < pr.nprocs; q++ {
+		s.Send(q, kBarComplete, 8, nil, func(s2 *sim.Svc, m2 *sim.Msg) {
+			pr.ps[m2.To].barOut = true
+			s2.Wake(s2.P)
+		})
+	}
+}

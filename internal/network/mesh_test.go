@@ -1,0 +1,131 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aecdsm/internal/memsys"
+)
+
+func testMesh() *Mesh { return NewMesh(memsys.Default()) }
+
+func TestHops(t *testing.T) {
+	m := testMesh() // 4x4
+	for _, tc := range []struct{ from, to, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},
+		{0, 15, 6},
+		{5, 10, 2},
+		{3, 12, 6},
+	} {
+		if got := m.Hops(tc.from, tc.to); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := testMesh()
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if m.Hops(a, b) != m.Hops(b, a) {
+				t.Fatalf("Hops(%d,%d) != Hops(%d,%d)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m := testMesh() // 2-byte flits
+	for _, tc := range []struct{ bytes, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4096, 2048},
+	} {
+		if got := m.Flits(tc.bytes); got != tc.want {
+			t.Errorf("Flits(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	m := testMesh()
+	// 1 hop, 1 flit: switch(4)+wire(2) = 6.
+	if got := m.Latency(0, 1, 2); got != 6 {
+		t.Errorf("Latency 1 hop 1 flit = %d, want 6", got)
+	}
+	// 6 hops, 1 flit: 6*6 = 36.
+	if got := m.Latency(0, 15, 2); got != 36 {
+		t.Errorf("Latency 6 hops = %d, want 36", got)
+	}
+	// Body pipelining: +2 per extra flit.
+	if got := m.Latency(0, 1, 6); got != 6+2*2 {
+		t.Errorf("Latency 3 flits = %d, want 10", got)
+	}
+	if got := m.Latency(3, 3, 100); got != 0 {
+		t.Errorf("local latency = %d, want 0", got)
+	}
+}
+
+func TestTransferMatchesLatencyWhenIdle(t *testing.T) {
+	m := testMesh()
+	lat := m.Latency(0, 15, 64)
+	if got := m.Transfer(1000, 0, 15, 64); got != 1000+lat {
+		t.Errorf("idle Transfer = %d, want %d", got, 1000+lat)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	m := testMesh()
+	// Two messages over the same link at the same time: the second
+	// arrives later than it would on an idle mesh.
+	first := m.Transfer(0, 0, 1, 4096)
+	second := m.Transfer(0, 0, 1, 4096)
+	if second <= first {
+		t.Fatalf("contended transfer (%d) should finish after the first (%d)", second, first)
+	}
+	if m.WaitCycles == 0 {
+		t.Fatal("expected link wait cycles to accumulate")
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	m := testMesh()
+	a := m.Transfer(0, 0, 1, 4096)   // link 0->1
+	b := m.Transfer(0, 14, 15, 4096) // link 14->15
+	if a-0 != b-0 {
+		t.Fatalf("disjoint transfers should cost the same: %d vs %d", a, b)
+	}
+}
+
+func TestTransferNeverBeatsLatency(t *testing.T) {
+	f := func(seed uint32, pairs []uint16) bool {
+		m := testMesh()
+		now := uint64(0)
+		for _, pv := range pairs {
+			from := int(pv) % 16
+			to := int(pv>>4) % 16
+			bytes := int(pv%1000) + 1
+			arr := m.Transfer(now, from, to, bytes)
+			if arr < now+m.Latency(from, to, bytes) {
+				return false
+			}
+			now += uint64(pv % 37)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshStats(t *testing.T) {
+	m := testMesh()
+	m.Transfer(0, 0, 5, 100)
+	if m.Messages != 1 || m.BytesMoved != 100 || m.HopsTotal == 0 {
+		t.Fatalf("stats not recorded: %+v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,22 @@
+package proto
+
+import "aecdsm/internal/mem"
+
+// Program is an SPMD application runnable on the simulated DSM. Init runs
+// once before the simulation to lay out and fill shared memory; Body runs
+// on every simulated processor (the context carries the processor id);
+// Err reports the verification outcome recorded by Body (applications
+// check their own results, usually on processor 0 after a final barrier).
+type Program interface {
+	// Name identifies the application ("IS", "FFT", ...).
+	Name() string
+	// NumLocks returns the number of lock variables the program uses.
+	NumLocks() int
+	// Init allocates and initializes shared memory.
+	Init(s *mem.Space, nprocs int)
+	// Body is the per-processor SPMD body.
+	Body(c *Ctx)
+	// Err returns the verification error recorded during the run, nil
+	// if the computed results were correct.
+	Err() error
+}

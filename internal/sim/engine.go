@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"aecdsm/internal/memsys"
+	"aecdsm/internal/network"
+	"aecdsm/internal/stats"
+)
+
+// Engine drives the simulation: it owns virtual time, the event queue, the
+// network, and the processors. Exactly one of {engine, some processor
+// goroutine} executes at any instant, so no locking is needed anywhere in
+// the simulator or the protocols.
+type Engine struct {
+	Params memsys.Params
+	Net    *network.Mesh
+	Procs  []*Proc
+	Run    *stats.Run
+
+	now      Time
+	seq      uint64
+	events   eventHeap
+	finished int
+
+	// Deadlocked is set if the event queue drained while processors were
+	// still blocked.
+	Deadlocked bool
+
+	bodies []func(*Proc)
+}
+
+// New builds an engine for the given parameters. Run statistics are
+// recorded into run (which must have one Proc entry per processor).
+func New(p memsys.Params, run *stats.Run) *Engine {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid params: %v", err))
+	}
+	e := &Engine{
+		Params: p,
+		Net:    network.NewMesh(p),
+		Run:    run,
+		bodies: make([]func(*Proc), p.NumProcs),
+	}
+	for i := 0; i < p.NumProcs; i++ {
+		pr := &Proc{
+			ID:       i,
+			Eng:      e,
+			Stats:    &run.Procs[i],
+			Cache:    memsys.NewCache(p.CacheBytes, p.CacheLineBytes),
+			TLB:      memsys.NewTLB(p.TLBEntries),
+			MemBus:   memsys.NewBus(p.MemSetupCycles, p.MemPerWordCycles),
+			IOBus:    memsys.NewBus(p.IOBusSetupCycles, p.IOBusPerWordCycles),
+			resumeCh: make(chan Time),
+			yieldCh:  make(chan yieldKind),
+			horizon:  0,
+		}
+		e.Procs = append(e.Procs, pr)
+	}
+	return e
+}
+
+// Now returns current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Spawn registers the application body for processor id. All bodies must
+// be registered before Start.
+func (e *Engine) Spawn(id int, body func(*Proc)) {
+	e.bodies[id] = body
+}
+
+// step resumes processor p: grants it a horizon, waits for its yield, and
+// reschedules it if it merely paused.
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resumeCh <- e.nextEventTime()
+	switch <-p.yieldCh {
+	case yieldPaused:
+		e.schedule(p.Clock, func() { e.step(p) })
+	case yieldBlocked:
+		// Nothing: a Wake will reschedule it.
+	case yieldDone:
+		p.done = true
+		e.finished++
+	}
+}
+
+// Start launches all processor goroutines and runs the event loop until
+// every processor's body has returned (or deadlock). It returns the
+// parallel execution time: the maximum processor clock.
+func (e *Engine) Start() Time {
+	for i, body := range e.bodies {
+		if body == nil {
+			panic(fmt.Sprintf("sim: processor %d has no body", i))
+		}
+		p := e.Procs[i]
+		b := body
+		go func() {
+			p.horizon = <-p.resumeCh
+			b(p)
+			p.yieldCh <- yieldDone
+		}()
+		e.schedule(0, func() { e.step(p) })
+	}
+	for e.finished < len(e.Procs) {
+		if len(e.events) == 0 {
+			e.Deadlocked = true
+			break
+		}
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	var max Time
+	for _, p := range e.Procs {
+		if p.Clock > max {
+			max = p.Clock
+		}
+	}
+	e.Run.Cycles = max
+	return max
+}
+
+func (e *Engine) pop() event {
+	return heap.Pop(&e.events).(event)
+}

@@ -1,0 +1,58 @@
+// Package sim is the execution-driven simulation kernel: a discrete-event
+// engine over virtual processor cycles, with each simulated processor
+// running real application code on its own goroutine. It plays the role of
+// MINT plus the back-end scheduler in the paper's methodology.
+//
+// Engine and processor goroutines alternate strictly — at most one of them
+// runs at any instant — so no package state needs locking. The engine
+// resumes the runnable processor event with the lowest timestamp and hands
+// it a horizon (the timestamp of the next pending event); the processor
+// executes until an operation would cross the horizon, then yields. This
+// conservative windowing keeps the simulation causal and deterministic.
+package sim
+
+import "container/heap"
+
+// Time is virtual time in processor cycles (1 cycle = 10ns in the paper).
+type Time = uint64
+
+// Forever is a horizon meaning "no other event pending".
+const Forever = ^Time(0)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (e *Engine) schedule(at Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// nextEventTime peeks the earliest pending event time.
+func (e *Engine) nextEventTime() Time {
+	if len(e.events) == 0 {
+		return Forever
+	}
+	return e.events[0].at
+}

@@ -1,0 +1,106 @@
+package sim
+
+import "aecdsm/internal/stats"
+
+// Msg is a protocol message in flight.
+type Msg struct {
+	From, To int
+	Kind     int
+	Bytes    int // payload bytes (header added by the engine)
+	Payload  any
+	SentAt   Time
+	ArriveAt Time
+}
+
+// Handler services a delivered message on the destination node. It runs in
+// service context: use s.Charge for processing costs and s.Send for
+// replies; everything is charged to the destination processor's service
+// time, which is overlapped with any stall the destination is in, or
+// stolen from its computation otherwise (the paper's ipc category).
+type Handler func(s *Svc, m *Msg)
+
+// Svc is the service context in which a message handler executes.
+type Svc struct {
+	E   *Engine
+	P   *Proc // the processor doing the servicing
+	Now Time  // service-local current time
+	m   *Msg
+}
+
+// Charge advances service time by the given cycles.
+func (s *Svc) Charge(cycles uint64) { s.Now += cycles }
+
+// ChargeList advances service time by the list processing cost of n items.
+func (s *Svc) ChargeList(n int) { s.Now += s.E.Params.ListCycles(n) }
+
+// ChargeMem moves bytes through the servicing node's memory bus.
+func (s *Svc) ChargeMem(bytes int) {
+	s.Now = s.P.MemBus.Transfer(s.Now, s.E.Params.Words(bytes))
+}
+
+// Send transmits a message from the servicing node, charging the messaging
+// overhead and I/O bus to service time.
+func (s *Svc) Send(to, kind, bytes int, payload any, h Handler) {
+	s.Now = s.E.sendAt(s.P, s.Now, to, kind, bytes, payload, h)
+}
+
+// Wake wakes a blocked processor at service completion time.
+func (s *Svc) Wake(p *Proc) { p.Wake(s.Now) }
+
+// SendFrom transmits a message from a running processor's goroutine. The
+// send overhead (messaging software cost + I/O bus occupancy) is charged to
+// the sender under the given category. Delivery invokes h on the
+// destination node in service context.
+func (e *Engine) SendFrom(p *Proc, cat stats.Category, to, kind, bytes int, payload any, h Handler) {
+	before := p.Clock
+	after := e.sendAt(p, p.Clock, to, kind, bytes, payload, h)
+	p.Advance(after-before, cat)
+}
+
+// sendAt implements the shared send path: overhead + I/O bus at the
+// sender, wormhole network transfer, then a delivery event at the
+// destination. It returns the time the sender is free to continue.
+func (e *Engine) sendAt(from *Proc, now Time, to, kind, bytes int, payload any, h Handler) Time {
+	pp := &e.Params
+	size := bytes + pp.MsgHeaderBytes
+	from.Stats.MsgsSent++
+	from.Stats.BytesSent += uint64(size)
+
+	senderDone := now + pp.MsgOverheadCycles
+	if to != from.ID {
+		// DMA the message across the sender's I/O bus.
+		senderDone = from.IOBus.Transfer(senderDone, pp.Words(size))
+	}
+	arrive := e.Net.Transfer(senderDone, from.ID, to, size)
+	m := &Msg{From: from.ID, To: to, Kind: kind, Bytes: bytes,
+		Payload: payload, SentAt: now, ArriveAt: arrive}
+	e.schedule(arrive, func() { e.deliver(m, h) })
+	return senderDone
+}
+
+// deliver runs a message handler on the destination node.
+func (e *Engine) deliver(m *Msg, h Handler) {
+	p := e.Procs[m.To]
+	pp := &e.Params
+	start := m.ArriveAt
+	if p.svcBusyUntil > start {
+		start = p.svcBusyUntil
+	}
+	s := &Svc{E: e, P: p, Now: start, m: m}
+	// Interrupt dispatch plus pulling the message across the I/O bus.
+	if m.From != m.To {
+		s.Charge(pp.InterruptCycles)
+		s.Now = p.IOBus.Transfer(s.Now, pp.Words(m.Bytes+pp.MsgHeaderBytes))
+	}
+	h(s, m)
+	p.svcBusyUntil = s.Now
+	svc := s.Now - start
+	if p.Blocked() || p.done {
+		// Service overlapped an existing stall: hidden.
+		p.Stats.IPCHiddenCycles += svc
+	} else {
+		// Steal the cycles from the running computation; they are
+		// charged to the ipc category at the next advance.
+		p.Steal(svc)
+	}
+}

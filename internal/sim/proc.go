@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"aecdsm/internal/memsys"
+	"aecdsm/internal/stats"
+)
+
+type yieldKind int
+
+const (
+	yieldPaused  yieldKind = iota // runnable again at p.Clock
+	yieldBlocked                  // waiting for an explicit Wake
+	yieldDone                     // application function returned
+)
+
+// Proc is one simulated workstation node: a computation processor with its
+// own clock, cache, TLB, memory bus and I/O bus, plus the coroutine
+// plumbing that lets its application goroutine interleave with the engine.
+type Proc struct {
+	ID  int
+	Eng *Engine
+
+	// Clock is the processor's local virtual time.
+	Clock Time
+
+	// Stats accumulates this processor's measurements.
+	Stats *stats.Proc
+
+	// Memory system components.
+	Cache  *memsys.Cache
+	TLB    *memsys.TLB
+	MemBus *memsys.Bus
+	IOBus  *memsys.Bus
+
+	// Coroutine channels. resumeCh carries the horizon granted by the
+	// engine; yieldCh tells the engine why the processor stopped.
+	resumeCh chan Time
+	yieldCh  chan yieldKind
+
+	horizon Time
+	blocked bool
+	done    bool
+	started bool
+
+	// wakeAt is the time a blocked processor should resume at, set by
+	// Wake before the resume event fires.
+	wakeAt Time
+
+	// stolen accumulates interrupt service cycles that preempted the
+	// processor while it was running; they are folded into the clock at
+	// the next advance and charged to IPC.
+	stolen uint64
+
+	// svcBusyUntil serializes back-to-back message service on this node.
+	svcBusyUntil Time
+
+	// WaitTag labels what the processor is currently blocked on
+	// (diagnostics only).
+	WaitTag string
+}
+
+// Advance charges cycles to the given category and moves the clock. If the
+// clock crosses the engine horizon the processor yields so pending events
+// can run; the operation is considered to take effect at its start time.
+func (p *Proc) Advance(cycles uint64, cat stats.Category) {
+	if p.stolen > 0 {
+		p.Clock += p.stolen
+		p.Stats.Breakdown.Add(stats.IPC, p.stolen)
+		p.stolen = 0
+	}
+	p.Clock += cycles
+	p.Stats.Breakdown.Add(cat, cycles)
+	if p.Clock >= p.horizon {
+		p.pause()
+	}
+}
+
+// Checkpoint yields to the engine if the horizon has been reached without
+// charging any cycles. Call it inside long polling loops.
+func (p *Proc) Checkpoint() {
+	if p.stolen > 0 {
+		p.Clock += p.stolen
+		p.Stats.Breakdown.Add(stats.IPC, p.stolen)
+		p.stolen = 0
+	}
+	if p.Clock >= p.horizon {
+		p.pause()
+	}
+}
+
+// pause hands control to the engine and waits to be resumed.
+func (p *Proc) pause() {
+	p.yieldCh <- yieldPaused
+	p.horizon = <-p.resumeCh
+}
+
+// Block parks the processor until another entity calls Wake. The stall
+// between the current clock and the wake time is charged to cat. It
+// returns the number of cycles stalled.
+func (p *Proc) Block(cat stats.Category) uint64 {
+	p.wakeAt = p.Clock
+	p.blocked = true
+	p.yieldCh <- yieldBlocked
+	p.horizon = <-p.resumeCh
+	var stalled uint64
+	if p.wakeAt > p.Clock {
+		stalled = p.wakeAt - p.Clock
+		p.Stats.Breakdown.Add(cat, stalled)
+		p.Clock = p.wakeAt
+	}
+	return stalled
+}
+
+// WaitUntil blocks the processor until cond() holds, charging stall time to
+// cat. cond is evaluated between engine events; every state change that can
+// satisfy it must Wake this processor. Returns total stalled cycles.
+func (p *Proc) WaitUntil(cond func() bool, cat stats.Category) uint64 {
+	var stalled uint64
+	for !cond() {
+		stalled += p.Block(cat)
+	}
+	return stalled
+}
+
+// Wake schedules a blocked processor to resume at the given time (or at its
+// current clock if later). Calling Wake on a processor that is not blocked
+// is a no-op: the processor will observe the changed state at its next
+// condition check. The processor is marked runnable immediately so a second
+// Wake does not schedule a duplicate resume.
+func (p *Proc) Wake(at Time) {
+	if p.done || !p.blocked {
+		return
+	}
+	if at < p.Clock {
+		at = p.Clock
+	}
+	p.blocked = false // consumed; prevents double resume events
+	p.wakeAt = at
+	p.Eng.schedule(at, func() { p.Eng.step(p) })
+}
+
+// Blocked reports whether the processor is parked waiting for a Wake.
+func (p *Proc) Blocked() bool { return p.blocked }
+
+// Steal records interrupt service cycles preempting a running processor.
+func (p *Proc) Steal(cycles uint64) { p.stolen += cycles }
+
+func (p *Proc) String() string { return fmt.Sprintf("P%d@%d", p.ID, p.Clock) }

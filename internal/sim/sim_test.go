@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"testing"
+
+	"aecdsm/internal/memsys"
+	"aecdsm/internal/stats"
+)
+
+func testEngine(n int) (*Engine, *stats.Run) {
+	p := memsys.Default()
+	if n != p.NumProcs {
+		p.NumProcs = n
+		// keep a valid mesh
+		p.MeshW, p.MeshH = n, 1
+	}
+	run := stats.NewRun("test", "test", p.NumProcs)
+	return New(p, run), run
+}
+
+func TestAdvanceAccounting(t *testing.T) {
+	e, run := testEngine(2)
+	e.Spawn(0, func(p *Proc) {
+		p.Advance(100, stats.Busy)
+		p.Advance(50, stats.Data)
+	})
+	e.Spawn(1, func(p *Proc) { p.Advance(10, stats.Busy) })
+	cycles := e.Start()
+	if cycles != 150 {
+		t.Fatalf("parallel time = %d, want 150", cycles)
+	}
+	if run.Procs[0].Breakdown[stats.Busy] != 100 || run.Procs[0].Breakdown[stats.Data] != 50 {
+		t.Fatalf("breakdown wrong: %+v", run.Procs[0].Breakdown)
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	e, run := testEngine(2)
+	var flag bool
+	e.Spawn(0, func(p *Proc) {
+		p.WaitUntil(func() bool { return flag }, stats.Synch)
+		if p.Clock < 500 {
+			t.Errorf("woke too early at %d", p.Clock)
+		}
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.Advance(500, stats.Busy)
+		flag = true
+		e.Procs[0].Wake(p.Clock)
+	})
+	e.Start()
+	if run.Procs[0].Breakdown[stats.Synch] != 500 {
+		t.Fatalf("stall accounting = %d, want 500", run.Procs[0].Breakdown[stats.Synch])
+	}
+}
+
+func TestSpuriousWakeRechecks(t *testing.T) {
+	e, _ := testEngine(3)
+	var ready bool
+	e.Spawn(0, func(p *Proc) {
+		p.WaitUntil(func() bool { return ready }, stats.Synch)
+		if p.Clock < 1000 {
+			t.Errorf("condition satisfied too early at %d", p.Clock)
+		}
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.Advance(100, stats.Busy)
+		e.Procs[0].Wake(p.Clock) // spurious: condition still false
+	})
+	e.Spawn(2, func(p *Proc) {
+		p.Advance(1000, stats.Busy)
+		ready = true
+		e.Procs[0].Wake(p.Clock)
+	})
+	if e.Start() == 0 {
+		t.Fatal("no progress")
+	}
+	if e.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e, _ := testEngine(1)
+	e.Spawn(0, func(p *Proc) {
+		p.WaitUntil(func() bool { return false }, stats.Synch)
+	})
+	e.Start()
+	if !e.Deadlocked {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestMessageDelivery(t *testing.T) {
+	e, _ := testEngine(4)
+	var deliveredAt Time
+	var payload any
+	e.Spawn(0, func(p *Proc) {
+		e.SendFrom(p, stats.Busy, 3, 1, 64, "hello", func(s *Svc, m *Msg) {
+			deliveredAt = m.ArriveAt
+			payload = m.Payload
+			s.Wake(e.Procs[3])
+		})
+	})
+	for i := 1; i < 4; i++ {
+		i := i
+		e.Spawn(i, func(p *Proc) {
+			if i == 3 {
+				p.WaitUntil(func() bool { return payload != nil }, stats.Synch)
+			}
+		})
+	}
+	e.Start()
+	if payload != "hello" {
+		t.Fatalf("payload = %v", payload)
+	}
+	if deliveredAt == 0 {
+		t.Fatal("no network latency charged")
+	}
+}
+
+func TestSendChargesSender(t *testing.T) {
+	e, run := testEngine(2)
+	e.Spawn(0, func(p *Proc) {
+		before := p.Clock
+		e.SendFrom(p, stats.Synch, 1, 0, 128, nil, func(s *Svc, m *Msg) {})
+		if p.Clock == before {
+			t.Error("send should cost the sender cycles")
+		}
+	})
+	e.Spawn(1, func(p *Proc) { p.Advance(1, stats.Busy) })
+	e.Start()
+	if run.Procs[0].MsgsSent != 1 {
+		t.Fatalf("MsgsSent = %d", run.Procs[0].MsgsSent)
+	}
+}
+
+func TestServiceHiddenWhileBlocked(t *testing.T) {
+	e, run := testEngine(2)
+	var replied bool
+	e.Spawn(0, func(p *Proc) {
+		e.SendFrom(p, stats.Busy, 1, 0, 32, nil, func(s *Svc, m *Msg) {
+			s.Charge(5000)
+			s.Send(m.From, 1, 32, nil, func(s2 *Svc, m2 *Msg) {
+				replied = true
+				s2.Wake(s2.P)
+			})
+		})
+		p.WaitUntil(func() bool { return replied }, stats.Data)
+		e.Procs[1].Wake(p.Clock)
+	})
+	e.Spawn(1, func(p *Proc) {
+		// Blocked for the whole run: the 5000-cycle service must be
+		// hidden, not stolen.
+		p.WaitUntil(func() bool { return replied }, stats.Synch)
+	})
+	e.Start()
+	if e.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if run.Procs[1].IPCHiddenCycles < 5000 {
+		t.Fatalf("hidden IPC = %d, want >= 5000", run.Procs[1].IPCHiddenCycles)
+	}
+	if run.Procs[1].Breakdown[stats.IPC] != 0 {
+		t.Fatalf("blocked proc should not be charged visible IPC, got %d",
+			run.Procs[1].Breakdown[stats.IPC])
+	}
+}
+
+func TestServiceStolenWhileRunning(t *testing.T) {
+	e, run := testEngine(2)
+	e.Spawn(0, func(p *Proc) {
+		e.SendFrom(p, stats.Busy, 1, 0, 32, nil, func(s *Svc, m *Msg) {
+			s.Charge(7000)
+		})
+		p.Advance(1, stats.Busy)
+	})
+	e.Spawn(1, func(p *Proc) {
+		// Keep computing past the message arrival so the service is
+		// stolen from computation.
+		for i := 0; i < 100; i++ {
+			p.Advance(1000, stats.Busy)
+		}
+	})
+	e.Start()
+	if run.Procs[1].Breakdown[stats.IPC] < 7000 {
+		t.Fatalf("stolen IPC = %d, want >= 7000", run.Procs[1].Breakdown[stats.IPC])
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	trace := func() []Time {
+		e, _ := testEngine(4)
+		var order []Time
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(i, func(p *Proc) {
+				for k := 0; k < 5; k++ {
+					p.Advance(uint64(100+i*37+k*13), stats.Busy)
+					order = append(order, p.Clock)
+				}
+			})
+		}
+		e.Start()
+		return order
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e, _ := testEngine(1)
+	var got []int
+	e.schedule(100, func() { got = append(got, 2) })
+	e.schedule(50, func() { got = append(got, 1) })
+	e.schedule(100, func() { got = append(got, 3) }) // FIFO at same time
+	e.Spawn(0, func(p *Proc) {
+		p.Advance(200, stats.Busy)
+	})
+	e.Start()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("event order = %v", got)
+	}
+}
+
+func TestLocalMessageSkipsNetwork(t *testing.T) {
+	e, _ := testEngine(2)
+	var arrive Time
+	e.Spawn(0, func(p *Proc) {
+		p.Advance(100, stats.Busy)
+		e.SendFrom(p, stats.Busy, 0, 0, 1<<20, nil, func(s *Svc, m *Msg) {
+			arrive = m.ArriveAt
+		})
+		p.Advance(10000, stats.Busy)
+	})
+	e.Spawn(1, func(p *Proc) { p.Advance(1, stats.Busy) })
+	e.Start()
+	// Local delivery: only the messaging overhead, no wormhole cost for
+	// a megabyte payload.
+	if arrive > 100+e.Params.MsgOverheadCycles {
+		t.Fatalf("local message took %d cycles", arrive)
+	}
+}
+
+func TestSvcHelpersAndCheckpoint(t *testing.T) {
+	e, run := testEngine(2)
+	var served bool
+	e.Spawn(0, func(p *Proc) {
+		e.SendFrom(p, stats.Busy, 1, 0, 64, nil, func(s *Svc, m *Msg) {
+			s.ChargeList(10) // 60 cycles of list processing
+			s.ChargeMem(256) // memory bus occupancy
+			served = true
+			s.Wake(e.Procs[0])
+		})
+		p.WaitUntil(func() bool { return served }, stats.Data)
+		if e.Now() == 0 {
+			t.Error("engine time did not advance")
+		}
+		if p.String() == "" {
+			t.Error("empty proc String")
+		}
+	})
+	e.Spawn(1, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Advance(100, stats.Busy)
+			p.Checkpoint()
+		}
+	})
+	e.Start()
+	if !served {
+		t.Fatal("handler never ran")
+	}
+	if run.Procs[1].Breakdown[stats.Busy] != 5000 {
+		t.Fatalf("busy = %d", run.Procs[1].Breakdown[stats.Busy])
+	}
+}

@@ -1,0 +1,178 @@
+package tm
+
+import (
+	"sort"
+
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Fault implements the TreadMarks access miss: fetch a base copy if the
+// page was never resident, then fetch and apply the diffs named by the
+// write notices, in interval order — all of it on the faulting processor's
+// critical path, with diff creation on the writers' critical paths.
+func (pr *TM) Fault(c *proto.Ctx, page int, write bool) {
+	st := pr.ps[c.ID]
+	f := c.M.Frame(page)
+
+	if !f.Valid {
+		// Any undiffed local interval must be materialized before remote
+		// diffs land in the page, or its lazy diff would capture other
+		// writers' values stamped with an old interval — a regression
+		// when applied elsewhere out of order. (Real TreadMarks creates
+		// pending diffs before applying incoming ones for this reason.)
+		if st.undiffed[page] != nil {
+			pr.forceDiff(c, st, page, stats.Data)
+		}
+		if !f.EverValid {
+			pr.fetchPage(c, st, page, f)
+			// Fresh base of unknown vintage: apply the full write
+			// notice history for the page.
+			pr.fetchAndApplyDiffs(c, st, page, st.history[page])
+		} else {
+			pr.fetchAndApplyDiffs(c, st, page, st.pendingWN[page])
+		}
+		delete(st.pendingWN, page)
+		f.Valid = true
+		f.EverValid = true
+	}
+
+	if write {
+		// Re-twinning: any undiffed interval for this page must be
+		// diffed first so its snapshot survives.
+		if st.undiffed[page] != nil {
+			pr.forceDiff(c, st, page, stats.Data)
+		}
+		pp := &pr.e.Params
+		cost := pp.TwinCycles(pr.pageSize)
+		cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize))
+		c.P.Stats.TwinCycles += cost
+		c.P.Advance(cost, stats.Data)
+		c.M.MakeTwin(page)
+		st.dirty[page] = true
+		f.WriteEpoch = c.Epoch
+	}
+}
+
+// fetchPage brings a base copy from the page's statically assigned home.
+func (pr *TM) fetchPage(c *proto.Ctx, st *tmProc, page int, f *mem.Frame) {
+	home := pr.s.InitHome(page)
+	if home == c.ID {
+		return
+	}
+	tk := &token{}
+	c.P.Stats.PageFetches++
+	pr.e.SendFrom(c.P, stats.Data, home, kPageReq, 8,
+		pageReq{page: page, tk: tk, from: c.ID}, pr.handlePageReq)
+	c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
+	c.P.Stats.PageFetchBytes += uint64(len(tk.page))
+	cost := c.P.MemBus.Cost(c.P.Clock, pr.e.Params.Words(pr.pageSize))
+	c.P.Advance(cost, stats.Data)
+	copy(f.Data, tk.page)
+	c.P.Cache.InvalidateRange(pr.s.PageBase(page), pr.pageSize)
+}
+
+// handlePageReq serves a base page copy from its home node.
+func (pr *TM) handlePageReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(pageReq)
+	ctx := pr.ctxs[m.To]
+	data := make([]byte, pr.pageSize)
+	copy(data, ctx.M.Frame(req.page).Data)
+	s.ChargeMem(pr.pageSize)
+	s.Send(m.From, kPageRep, pr.pageSize, data, func(s2 *sim.Svc, m2 *sim.Msg) {
+		req.tk.page = m2.Payload.([]byte)
+		req.tk.done = true
+		s2.Wake(s2.P)
+	})
+}
+
+// fetchAndApplyDiffs fetches the diffs for the given write notices from
+// their writers and applies them in interval order.
+func (pr *TM) fetchAndApplyDiffs(c *proto.Ctx, st *tmProc, page int, wns []wnRef) {
+	if len(wns) == 0 {
+		return
+	}
+	// Group by writer, dedupe sequences.
+	byWriter := map[int]map[int]bool{}
+	for _, wn := range wns {
+		if wn.proc == c.ID {
+			continue
+		}
+		if byWriter[wn.proc] == nil {
+			byWriter[wn.proc] = map[int]bool{}
+		}
+		byWriter[wn.proc][wn.seq] = true
+	}
+	writers := make([]int, 0, len(byWriter))
+	for w := range byWriter {
+		writers = append(writers, w)
+	}
+	sort.Ints(writers)
+
+	var all []ivalDiff
+	for _, w := range writers {
+		seqs := make([]int, 0, len(byWriter[w]))
+		for s := range byWriter[w] {
+			seqs = append(seqs, s)
+		}
+		sort.Ints(seqs)
+		tk := &token{}
+		c.P.Stats.DiffRequests++
+		pr.e.SendFrom(c.P, stats.Data, w, kDiffReq, 8+8*len(seqs),
+			diffReq{page: page, seqs: seqs, tk: tk, from: c.ID}, pr.handleDiffReq)
+		c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
+		all = append(all, tk.diffs...)
+	}
+	// Apply in happens-before order (vector clock partial order).
+	// Same-chain intervals are totally ordered; truly concurrent ones
+	// modify disjoint words in race-free programs, so ties are broken
+	// deterministically.
+	all = topoOrder(all)
+	pp := &pr.e.Params
+	f := c.M.Frame(page)
+	for _, fd := range all {
+		if c.ID == DebugProc {
+			println("p", c.ID, "apply diff page", page, "from", fd.proc, "seq", fd.seq, "nil", fd.d == nil)
+		}
+		if fd.d == nil {
+			continue
+		}
+		cost := pp.DiffCycles(fd.d.DataBytes())
+		cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(fd.d.DataBytes()))
+		c.P.Stats.DiffApplyCycles += cost
+		c.P.Stats.DiffsApplied++
+		c.P.Stats.DiffBytesApplied += uint64(fd.d.DataBytes())
+		c.P.Advance(cost, stats.Data)
+		fd.d.Apply(f.Data)
+		base := pr.s.PageBase(page)
+		for _, r := range fd.d.Runs {
+			c.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+		}
+	}
+}
+
+// handleDiffReq serves (and lazily creates) interval diffs at the writer.
+func (pr *TM) handleDiffReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(diffReq)
+	st := pr.ps[m.To]
+	s.ChargeList(len(req.seqs))
+	out := make([]ivalDiff, 0, len(req.seqs))
+	bytes := 0
+	for _, seq := range req.seqs {
+		rec := st.ivals[seq]
+		if rec == nil {
+			continue
+		}
+		if d := pr.svcDiff(s, st, rec, req.page); d != nil {
+			out = append(out, ivalDiff{proc: rec.proc, seq: rec.seq, vc: rec.vc, d: d})
+			bytes += d.EncodedBytes() + 4*pr.nprocs
+		}
+	}
+	s.Send(m.From, kDiffRep, bytes, out, func(s2 *sim.Svc, m2 *sim.Msg) {
+		req.tk.diffs = m2.Payload.([]ivalDiff)
+		req.tk.done = true
+		s2.Wake(s2.P)
+	})
+}

@@ -1,0 +1,277 @@
+package tm
+
+import (
+	"fmt"
+	"sort"
+
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Acquire implements the lazy-release-consistency acquire: request the
+// lock through its manager; the last releaser assembles the write notices
+// for every interval the acquirer has not seen, which the acquirer applies
+// (invalidations) before entering the critical section.
+func (pr *TM) Acquire(c *proto.Ctx, lock int) {
+	st := pr.ps[c.ID]
+	st.grant = nil
+	vc := append([]int(nil), st.vc...)
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq, 8+4*pr.nprocs,
+		acqReq{lock: lock, vc: vc, from: c.ID}, pr.handleAcqReq)
+	c.P.WaitUntil(func() bool { return st.grant != nil }, stats.Synch)
+	g := st.grant
+	st.grant = nil
+
+	c.P.Advance(pr.e.Params.ListCycles(len(g.wns)), stats.Synch)
+	if pr.hybrid && len(g.piggy) > 0 {
+		pr.applyWNsHybrid(c, st, g.wns, g.piggy)
+	} else {
+		pr.applyWNs(c, st, g.wns)
+	}
+	mergeVC(st.vc, g.vc)
+	c.Epoch++
+}
+
+// applyWNsHybrid consumes the grant's write notices, applying piggybacked
+// diffs in place of invalidations where they fully cover a cached page's
+// notices (the Lazy Hybrid fast path); everything else falls back to the
+// usual invalidation.
+func (pr *TM) applyWNsHybrid(c *proto.Ctx, st *tmProc, wns []wnRef, piggy []ivalDiff) {
+	covered := map[wnRef]*ivalDiff{}
+	for i := range piggy {
+		p := &piggy[i]
+		covered[wnRef{proc: p.proc, seq: p.seq, page: p.d.Page}] = p
+	}
+	// A page is hybrid-applicable if it is locally valid, has no pending
+	// notices, and every fresh notice for it is covered by a piggyback.
+	freshByPage := map[int][]wnRef{}
+	for _, wn := range wns {
+		if wn.proc == st.id || wn.seq <= st.vc[wn.proc] {
+			continue
+		}
+		freshByPage[wn.page] = append(freshByPage[wn.page], wn)
+	}
+	pp := &pr.e.Params
+	var fallback []wnRef
+	pages := make([]int, 0, len(freshByPage))
+	for pg := range freshByPage {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	for _, pg := range pages {
+		refs := freshByPage[pg]
+		f := c.M.Peek(pg)
+		ok := f.Valid && len(st.pendingWN[pg]) == 0
+		if ok {
+			for _, wn := range refs {
+				if covered[wn] == nil {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			fallback = append(fallback, refs...)
+			continue
+		}
+		// Materialize any undiffed local interval first, exactly as
+		// the fault path does: foreign values landing in the page must
+		// not leak into our own lazy diffs.
+		if st.undiffed[pg] != nil {
+			pr.forceDiff(c, st, pg, stats.Synch)
+		}
+		// Apply the piggybacked diffs directly; the page stays valid
+		// and the later access fault (and diff fetch) never happens.
+		for _, wn := range refs {
+			d := covered[wn]
+			cost := pp.DiffCycles(d.d.DataBytes())
+			c.P.Stats.DiffApplyCycles += cost
+			c.P.Stats.DiffsApplied++
+			c.P.Stats.DiffBytesApplied += uint64(d.d.DataBytes())
+			c.P.Advance(cost, stats.Synch)
+			fr := c.M.Frame(pg)
+			d.d.Apply(fr.Data)
+			base := pr.s.PageBase(pg)
+			for _, r := range d.d.Runs {
+				c.P.Cache.InvalidateRange(base+r.Off, len(r.Data))
+			}
+			st.history[pg] = append(st.history[pg], wn)
+		}
+	}
+	pr.applyWNs(c, st, fallback)
+}
+
+// handleAcqReq runs at the lock manager.
+func (pr *TM) handleAcqReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(acqReq)
+	l := pr.locks[req.lock]
+	s.ChargeList(1 + len(l.queue))
+	if l.held {
+		l.queue = append(l.queue, req.from)
+		l.pred.Enqueue(req.from)
+		// Stash the requester's vector clock for the eventual grant.
+		pr.ps[req.from].stashVC = req.vc
+		return
+	}
+	l.held = true
+	l.holder = req.from
+	l.pred.Granted(req.from, l.lastReleaser)
+	pr.routeGrant(s, req.lock, req.from, req.vc)
+}
+
+// routeGrant asks the last releaser to build the grant (it owns the
+// freshest consistency information), or grants directly when the lock has
+// no history or returns to its last releaser.
+func (pr *TM) routeGrant(s *sim.Svc, lock, to int, vc []int) {
+	l := pr.locks[lock]
+	if l.lastReleaser < 0 || l.lastReleaser == to {
+		s.Send(to, kGrant, 8+4*pr.nprocs,
+			grantMsg{lock: lock, vc: append([]int(nil), vc...)}, pr.handleGrant)
+		return
+	}
+	s.Send(l.lastReleaser, kGrantReq, 8+4*pr.nprocs,
+		grantReq{lock: lock, to: to, vc: vc}, pr.handleGrantReq)
+}
+
+// handleGrantReq runs at the last releaser: build the write-notice set and
+// forward the grant to the acquirer. Under Lazy Hybrid the releaser also
+// piggybacks the diffs of its own intervals named in the notices —
+// creating them here, on its critical path, which is the LH trade-off.
+func (pr *TM) handleGrantReq(s *sim.Svc, m *sim.Msg) {
+	req := m.Payload.(grantReq)
+	st := pr.ps[m.To]
+	wns := pr.collectWNs(st.vc, req.vc)
+	s.ChargeList(len(wns))
+	g := grantMsg{lock: req.lock, wns: wns, vc: append([]int(nil), st.vc...)}
+	size := 8 + 16*len(wns) + 4*pr.nprocs
+	if pr.hybrid {
+		for _, wn := range wns {
+			if wn.proc != st.id {
+				continue
+			}
+			rec := st.ivals[wn.seq]
+			if rec == nil {
+				continue
+			}
+			if d := pr.svcDiff(s, st, rec, wn.page); d != nil {
+				g.piggy = append(g.piggy,
+					ivalDiff{proc: rec.proc, seq: rec.seq, vc: rec.vc, d: d})
+				size += d.EncodedBytes() + 4*pr.nprocs
+			}
+		}
+	}
+	s.Send(req.to, kGrant, size, g, pr.handleGrant)
+}
+
+// handleGrant lands the grant at the acquirer.
+func (pr *TM) handleGrant(s *sim.Svc, m *sim.Msg) {
+	g := m.Payload.(grantMsg)
+	pr.ps[m.To].grant = &g
+	s.Wake(s.P)
+}
+
+// Release implements the lazy release: close the interval locally and tell
+// the manager; no data or consistency information moves until the next
+// acquire.
+func (pr *TM) Release(c *proto.Ctx, lock int) {
+	st := pr.ps[c.ID]
+	pr.closeInterval(c, st)
+	c.Epoch++
+	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kRel, 8,
+		relMsg{lock: lock}, pr.handleRel)
+}
+
+// handleRel runs at the manager: record the releaser and serve the queue.
+func (pr *TM) handleRel(s *sim.Svc, m *sim.Msg) {
+	r := m.Payload.(relMsg)
+	l := pr.locks[r.lock]
+	s.ChargeList(1)
+	l.lastReleaser = m.From
+	l.held = false
+	l.holder = -1
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.held = true
+		l.holder = next
+		l.pred.Dequeue()
+		l.pred.Granted(next, l.lastReleaser)
+		vc := pr.ps[next].stashVC
+		if vc == nil {
+			vc = make([]int, pr.nprocs)
+		}
+		pr.routeGrant(s, r.lock, next, vc)
+	}
+}
+
+// Barrier implements the TreadMarks barrier: everyone ships its new
+// interval summaries and vector clock to the manager, which merges and
+// rebroadcasts; arrivals then invalidate per the write notices.
+func (pr *TM) Barrier(c *proto.Ctx) {
+	st := pr.ps[c.ID]
+	pr.closeInterval(c, st)
+	// Summaries of own intervals created since the last barrier.
+	var wns []wnRef
+	for seq := st.lastBarSeq + 1; seq <= st.vc[st.id]; seq++ {
+		rec := st.ivals[seq]
+		if rec == nil {
+			continue
+		}
+		for _, pg := range rec.pages {
+			wns = append(wns, wnRef{proc: st.id, seq: seq, page: pg})
+		}
+	}
+	st.lastBarSeq = st.vc[st.id]
+	c.P.Advance(pr.e.Params.ListCycles(len(wns)), stats.Synch)
+
+	st.barOut = false
+	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 16+16*len(wns)+4*pr.nprocs,
+		barArrive{proc: c.ID, vc: append([]int(nil), st.vc...), wns: wns},
+		pr.handleBarArrive)
+	c.P.WaitUntil(func() bool { return st.barOut }, stats.Synch)
+	c.Epoch++
+}
+
+// handleBarArrive collects arrivals at the barrier manager and releases
+// everyone once the last one is in.
+func (pr *TM) handleBarArrive(s *sim.Svc, m *sim.Msg) {
+	a := m.Payload.(barArrive)
+	b := &pr.bar
+	if b.arr[a.proc] {
+		panic(fmt.Sprintf("tm: duplicate barrier arrival from %d", a.proc))
+	}
+	b.arr[a.proc] = true
+	b.got++
+	mergeVC(b.vc, a.vc)
+	b.wns = append(b.wns, a.wns...)
+	s.ChargeList(len(a.wns) + 1)
+	if b.got < pr.nprocs {
+		return
+	}
+	wns := b.wns
+	vc := append([]int(nil), b.vc...)
+	b.got = 0
+	b.wns = nil
+	for i := range b.arr {
+		b.arr[i] = false
+	}
+	s.ChargeList(len(wns))
+	for q := 0; q < pr.nprocs; q++ {
+		s.Send(q, kBarRelease, 16+16*len(wns)+4*pr.nprocs,
+			barRelease{wns: wns, vc: vc}, pr.handleBarRelease)
+	}
+}
+
+// handleBarRelease applies the merged consistency information and releases
+// the processor from the barrier.
+func (pr *TM) handleBarRelease(s *sim.Svc, m *sim.Msg) {
+	r := m.Payload.(barRelease)
+	st := pr.ps[m.To]
+	ctx := pr.ctxs[m.To]
+	fresh := pr.applyWNs(ctx, st, r.wns)
+	s.ChargeList(fresh)
+	mergeVC(st.vc, r.vc)
+	st.barOut = true
+	s.Wake(s.P)
+}

@@ -1,0 +1,428 @@
+// Package tm implements the TreadMarks lazy release consistency protocol
+// (Amza et al., IEEE Computer 1996), the baseline AEC is compared against
+// in Figures 5 and 6 of the paper. TreadMarks:
+//
+//   - divides each processor's execution into intervals delimited by
+//     synchronization operations, stamped with vector clocks;
+//   - propagates consistency information (write notices) lazily, at the
+//     next lock acquire or barrier, invalidating the named pages;
+//   - creates diffs lazily, when a faulting processor requests them — so
+//     diff creation sits on the critical path of both the generator and
+//     the requester, the overhead AEC's eager overlapped diffing removes.
+package tm
+
+import (
+	"sort"
+
+	"aecdsm/internal/lap"
+	"aecdsm/internal/mem"
+	"aecdsm/internal/proto"
+	"aecdsm/internal/sim"
+	"aecdsm/internal/stats"
+)
+
+// Message kinds.
+const (
+	kAcqReq = iota
+	kGrantReq
+	kGrant
+	kRel
+	kDiffReq
+	kDiffRep
+	kPageReq
+	kPageRep
+	kBarArrive
+	kBarRelease
+)
+
+// wnRef names one interval's modification of one page.
+type wnRef struct {
+	proc, seq, page int
+}
+
+// interval is one closed interval of a processor: the unit of lazy diff
+// propagation. vc is the creator's vector clock at the close, which orders
+// intervals by happens-before when applying diffs.
+type interval struct {
+	proc, seq int
+	vc        []int
+	pages     []int
+	twins     map[int][]byte    // undiffed pages: twin snapshots
+	diffs     map[int]*mem.Diff // lazily created diffs
+}
+
+// tmProc is the per-processor TreadMarks state.
+type tmProc struct {
+	id int
+	vc []int // vc[p] = highest interval of processor p seen
+
+	dirty     map[int]bool      // pages written in the current interval
+	ivals     map[int]*interval // own closed intervals by seq
+	undiffed  map[int]*interval // page -> own latest undiffed interval
+	pendingWN map[int][]wnRef   // unapplied write notices per page
+	history   map[int][]wnRef   // every write notice ever seen per page
+
+	grant      *grantMsg
+	barOut     bool
+	stashVC    []int // acquirer vc stashed at the manager while queued
+	lastBarSeq int   // own interval seq at the last barrier
+}
+
+type grantMsg struct {
+	lock  int
+	wns   []wnRef
+	vc    []int
+	piggy []ivalDiff // Lazy Hybrid: releaser's own diffs, by wn order
+}
+
+type acqReq struct {
+	lock int
+	vc   []int
+	from int
+}
+
+type grantReq struct { // manager -> last releaser: build the grant
+	lock int
+	to   int
+	vc   []int
+}
+
+type relMsg struct{ lock int }
+
+type diffReq struct {
+	page int
+	seqs []int
+	tk   *token
+	from int
+}
+
+type pageReq struct {
+	page int
+	tk   *token
+	from int
+}
+
+type token struct {
+	done  bool
+	diffs []ivalDiff
+	page  []byte
+}
+
+// ivalDiff is one fetched diff together with the interval ordering
+// information needed to apply it in happens-before order.
+type ivalDiff struct {
+	proc, seq int
+	vc        []int
+	d         *mem.Diff
+}
+
+// before reports whether interval a happens-before interval b: b's vector
+// clock already covers a. Distinct intervals can never mutually cover each
+// other, so this is a strict partial order.
+func (a ivalDiff) before(b ivalDiff) bool {
+	if a.proc == b.proc {
+		return a.seq < b.seq
+	}
+	return b.vc[a.proc] >= a.seq
+}
+
+// topoOrder sorts fetched diffs into a happens-before-consistent order:
+// repeatedly emit an interval no remaining interval precedes, breaking
+// ties by (seq, proc) deterministically.
+func topoOrder(in []ivalDiff) []ivalDiff {
+	out := make([]ivalDiff, 0, len(in))
+	rest := append([]ivalDiff(nil), in...)
+	for len(rest) > 0 {
+		pick := -1
+		for i, cand := range rest {
+			ready := true
+			for j, other := range rest {
+				if i != j && other.before(cand) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if pick < 0 || cand.seq < rest[pick].seq ||
+				(cand.seq == rest[pick].seq && cand.proc < rest[pick].proc) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cycle cannot happen with consistent clocks; be safe
+		}
+		out = append(out, rest[pick])
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+	return out
+}
+
+type barArrive struct {
+	proc int
+	vc   []int
+	wns  []wnRef // summaries of intervals created since the last barrier
+}
+
+type barRelease struct {
+	wns []wnRef
+	vc  []int
+}
+
+// lockState is the manager-side lock record. pred is a passive Lock
+// Acquirer Prediction instance: TreadMarks never pushes updates, but the
+// paper's §5.1 robustness study measures LAP accuracy under TreadMarks to
+// show the technique is protocol-independent, so the manager records the
+// same grant stream AEC's managers would see.
+type lockState struct {
+	held         bool
+	holder       int
+	lastReleaser int
+	queue        []int
+	pred         *lap.Predictor
+}
+
+// TM is the protocol instance.
+type TM struct {
+	// hybrid enables the Lazy Hybrid variation (Dwarkadas et al.),
+	// cited by the AEC paper in §6: the last releaser piggybacks the
+	// diffs of its own modifications on the lock grant message, so an
+	// acquirer that caches the pages needs no separate diff fetch.
+	hybrid bool
+
+	e    *sim.Engine
+	s    *mem.Space
+	ctxs []*proto.Ctx
+	ps   []*tmProc
+
+	locks []*lockState
+
+	bar struct {
+		got int
+		vc  []int
+		wns []wnRef
+		arr []bool
+	}
+
+	nprocs   int
+	pageSize int
+	numLocks int
+}
+
+// New builds a TreadMarks protocol instance.
+func New() *TM { return &TM{numLocks: 1} }
+
+// NewLazyHybrid builds the Lazy Hybrid variation: grants piggyback the
+// releaser's own diffs for cached pages.
+func NewLazyHybrid() *TM { return &TM{numLocks: 1, hybrid: true} }
+
+// Name implements proto.Protocol.
+func (pr *TM) Name() string {
+	if pr.hybrid {
+		return "TM-LH"
+	}
+	return "TM"
+}
+
+// SetNumLocks implements proto.NumLocksProvider.
+func (pr *TM) SetNumLocks(n int) {
+	if n > pr.numLocks {
+		pr.numLocks = n
+	}
+}
+
+// Attach implements proto.Protocol.
+func (pr *TM) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
+	pr.e = e
+	pr.s = s
+	pr.ctxs = ctxs
+	pr.nprocs = len(ctxs)
+	pr.pageSize = s.PageSize()
+	pr.ps = make([]*tmProc, pr.nprocs)
+	for i := range pr.ps {
+		pr.ps[i] = &tmProc{
+			id:        i,
+			vc:        make([]int, pr.nprocs),
+			dirty:     make(map[int]bool),
+			ivals:     make(map[int]*interval),
+			undiffed:  make(map[int]*interval),
+			pendingWN: make(map[int][]wnRef),
+			history:   make(map[int][]wnRef),
+		}
+	}
+	pr.locks = make([]*lockState, pr.numLocks)
+	for i := range pr.locks {
+		pr.locks[i] = &lockState{holder: -1, lastReleaser: -1, pred: lap.New(pr.nprocs, 2)}
+	}
+	pr.bar.vc = make([]int, pr.nprocs)
+	pr.bar.arr = make([]bool, pr.nprocs)
+}
+
+func (pr *TM) mgrOf(lock int) int { return lock % pr.nprocs }
+
+const barMgr = 0
+
+// Done implements proto.Protocol.
+func (pr *TM) Done(c *proto.Ctx) {}
+
+// NumLocks returns the number of lock variables managed.
+func (pr *TM) NumLocks() int { return len(pr.locks) }
+
+// LockLAP returns the passive LAP statistics recorded at the lock's
+// manager (the paper's §5.1 cross-protocol robustness measurement).
+func (pr *TM) LockLAP(lock int) lap.Stats { return pr.locks[lock].pred.Stats }
+
+// Notice implements proto.Protocol: TreadMarks has no virtual queues.
+func (pr *TM) Notice(c *proto.Ctx, lock int) {}
+
+// closeInterval ends the current interval if it modified anything,
+// recording the twins for lazy diffing.
+func (pr *TM) closeInterval(c *proto.Ctx, st *tmProc) {
+	if len(st.dirty) == 0 {
+		return
+	}
+	st.vc[st.id]++
+	rec := &interval{
+		proc:  st.id,
+		seq:   st.vc[st.id],
+		vc:    append([]int(nil), st.vc...),
+		twins: make(map[int][]byte),
+		diffs: make(map[int]*mem.Diff),
+	}
+	pages := make([]int, 0, len(st.dirty))
+	for pg := range st.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	rec.pages = pages
+	for _, pg := range pages {
+		f := c.M.Frame(pg)
+		if f.Twin != nil {
+			rec.twins[pg] = f.Twin
+			f.Twin = nil
+			st.undiffed[pg] = rec
+		}
+		writeProtect(f)
+	}
+	st.ivals[rec.seq] = rec
+	st.dirty = make(map[int]bool)
+	// Interval bookkeeping cost.
+	c.P.Advance(pr.e.Params.ListCycles(len(pages)), stats.Synch)
+}
+
+// forceDiff materializes the diff of an undiffed interval for a page, on
+// the generator's critical path. cat attributes the cost (Data when forced
+// by a local re-twin, reported by Svc-based callers separately).
+func (pr *TM) forceDiff(c *proto.Ctx, st *tmProc, pg int, cat stats.Category) {
+	rec := st.undiffed[pg]
+	if rec == nil {
+		return
+	}
+	f := c.M.Frame(pg)
+	d := mem.MakeDiff(pg, rec.twins[pg], f.Data, pr.e.Params.WordBytes)
+	pp := &pr.e.Params
+	cost := pp.DiffCycles(pr.pageSize)
+	cost += c.P.MemBus.Cost(c.P.Clock, pp.Words(pr.pageSize))
+	c.P.Stats.DiffCreateCycles += cost
+	if d != nil {
+		c.P.Stats.DiffsCreated++
+		c.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+	}
+	c.P.Advance(cost, cat)
+	if d == nil {
+		d = &mem.Diff{Page: pg}
+	}
+	rec.diffs[pg] = d
+	delete(rec.twins, pg)
+	delete(st.undiffed, pg)
+}
+
+// svcDiff creates a requested diff in service context (the generator-side
+// critical path cost the paper calls out).
+func (pr *TM) svcDiff(s *sim.Svc, st *tmProc, rec *interval, pg int) *mem.Diff {
+	if d := rec.diffs[pg]; d != nil {
+		return d
+	}
+	twin, ok := rec.twins[pg]
+	if !ok {
+		return nil
+	}
+	ctx := pr.ctxs[st.id]
+	f := ctx.M.Frame(pg)
+	pp := &pr.e.Params
+	d := mem.MakeDiff(pg, twin, f.Data, pp.WordBytes)
+	cost := pp.DiffCycles(pr.pageSize)
+	s.Charge(cost)
+	s.ChargeMem(pr.pageSize)
+	ctx.P.Stats.DiffCreateCycles += cost
+	if d == nil {
+		d = &mem.Diff{Page: pg}
+	} else {
+		ctx.P.Stats.DiffsCreated++
+		ctx.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+	}
+	rec.diffs[pg] = d
+	delete(rec.twins, pg)
+	if st.undiffed[pg] == rec {
+		delete(st.undiffed, pg)
+	}
+	return d
+}
+
+// DebugProc, when >= 0, traces write-notice handling for that processor.
+var DebugProc = -1
+
+// applyWNs invalidates pages named by write notices and records them.
+// Returns the number of fresh notices (not already seen).
+func (pr *TM) applyWNs(ctx *proto.Ctx, st *tmProc, wns []wnRef) int {
+	fresh := 0
+	for _, wn := range wns {
+		if st.id == DebugProc {
+			skip := wn.proc == st.id || wn.seq <= st.vc[wn.proc]
+			println("p", st.id, "wn from", wn.proc, "seq", wn.seq, "page", wn.page, "skip", skip, "vc", st.vc[wn.proc])
+		}
+		if wn.proc == st.id || wn.seq <= st.vc[wn.proc] {
+			continue
+		}
+		fresh++
+		ctx.P.Stats.WriteNoticesReceived++
+		st.history[wn.page] = append(st.history[wn.page], wn)
+		st.pendingWN[wn.page] = append(st.pendingWN[wn.page], wn)
+		f := ctx.M.Peek(wn.page)
+		if f.Valid {
+			ctx.M.Invalidate(wn.page)
+			ctx.P.Stats.Invalidations++
+		}
+	}
+	return fresh
+}
+
+// collectWNs gathers the write notices for all intervals the target (with
+// vector clock tvc) has not seen, from the perspective of a processor
+// whose knowledge is svc.
+func (pr *TM) collectWNs(svc, tvc []int) []wnRef {
+	var out []wnRef
+	for p := 0; p < pr.nprocs; p++ {
+		for seq := tvc[p] + 1; seq <= svc[p]; seq++ {
+			rec := pr.ps[p].ivals[seq]
+			if rec == nil {
+				continue
+			}
+			for _, pg := range rec.pages {
+				out = append(out, wnRef{proc: p, seq: seq, page: pg})
+			}
+		}
+	}
+	return out
+}
+
+func mergeVC(dst, src []int) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+func writeProtect(f *mem.Frame) { f.WriteEpoch = 0 }

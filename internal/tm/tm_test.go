@@ -1,0 +1,145 @@
+package tm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aecdsm/internal/mem"
+)
+
+func iv(proc, seq int, vc ...int) ivalDiff {
+	return ivalDiff{proc: proc, seq: seq, vc: vc, d: &mem.Diff{Page: 0}}
+}
+
+func TestBeforeSameProc(t *testing.T) {
+	a := iv(1, 2, 0, 2, 0)
+	b := iv(1, 5, 0, 5, 0)
+	if !a.before(b) || b.before(a) {
+		t.Fatal("same-proc ordering by seq")
+	}
+}
+
+func TestBeforeCrossProc(t *testing.T) {
+	// a = proc 0 interval 3; b = proc 1 interval 2 created after seeing
+	// a (vc[0] = 3).
+	a := iv(0, 3, 3, 0)
+	b := iv(1, 2, 3, 2)
+	if !a.before(b) {
+		t.Fatal("b's clock covers a, so a happens-before b")
+	}
+	if b.before(a) {
+		t.Fatal("mutual ordering impossible")
+	}
+}
+
+func TestBeforeConcurrent(t *testing.T) {
+	a := iv(0, 3, 3, 0)
+	b := iv(1, 2, 0, 2)
+	if a.before(b) || b.before(a) {
+		t.Fatal("disjoint clocks are concurrent")
+	}
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	// A lock chain: p0 iv1 -> p1 iv1 -> p0 iv2 -> p2 iv1.
+	c1 := iv(0, 1, 1, 0, 0)
+	c2 := iv(1, 1, 1, 1, 0)
+	c3 := iv(0, 2, 2, 1, 0)
+	c4 := iv(2, 1, 2, 1, 1)
+	got := topoOrder([]ivalDiff{c4, c3, c2, c1})
+	want := []ivalDiff{c1, c2, c3, c4}
+	for i := range want {
+		if got[i].proc != want[i].proc || got[i].seq != want[i].seq {
+			t.Fatalf("topoOrder[%d] = p%d#%d, want p%d#%d",
+				i, got[i].proc, got[i].seq, want[i].proc, want[i].seq)
+		}
+	}
+}
+
+// TestTopoOrderProperty: the output is a permutation respecting
+// happens-before, for randomly generated causal histories.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(script []uint8) bool {
+		const n = 4
+		// Simulate n processors exchanging causality: each event either
+		// closes an interval on a processor or syncs one processor's
+		// clock with another's.
+		clocks := make([][]int, n)
+		for i := range clocks {
+			clocks[i] = make([]int, n)
+		}
+		var all []ivalDiff
+		for _, b := range script {
+			p := int(b) % n
+			if b%2 == 0 {
+				q := int(b/2) % n
+				for k := 0; k < n; k++ {
+					if clocks[q][k] > clocks[p][k] {
+						clocks[p][k] = clocks[q][k]
+					}
+				}
+			} else {
+				clocks[p][p]++
+				all = append(all, iv(p, clocks[p][p], append([]int(nil), clocks[p]...)...))
+			}
+		}
+		out := topoOrder(all)
+		if len(out) != len(all) {
+			return false
+		}
+		// No interval may appear before one that happens-before it.
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if out[j].before(out[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectWNsBounds(t *testing.T) {
+	pr := New()
+	pr.numLocks = 1
+	// Minimal attach surrogate: 2 procs with intervals.
+	pr.nprocs = 2
+	pr.ps = []*tmProc{
+		{id: 0, vc: []int{2, 0}, ivals: map[int]*interval{
+			1: {proc: 0, seq: 1, pages: []int{3}},
+			2: {proc: 0, seq: 2, pages: []int{4, 5}},
+		}},
+		{id: 1, vc: []int{0, 0}, ivals: map[int]*interval{}},
+	}
+	wns := pr.collectWNs([]int{2, 0}, []int{0, 0})
+	if len(wns) != 3 {
+		t.Fatalf("got %d write notices, want 3", len(wns))
+	}
+	wns = pr.collectWNs([]int{2, 0}, []int{1, 0})
+	if len(wns) != 2 {
+		t.Fatalf("incremental: got %d, want 2", len(wns))
+	}
+	if wns[0].seq != 2 {
+		t.Fatalf("seq = %d, want 2", wns[0].seq)
+	}
+}
+
+func TestMergeVC(t *testing.T) {
+	dst := []int{1, 5, 2}
+	mergeVC(dst, []int{3, 4, 2})
+	if dst[0] != 3 || dst[1] != 5 || dst[2] != 2 {
+		t.Fatalf("mergeVC = %v", dst)
+	}
+}
+
+func TestLazyHybridName(t *testing.T) {
+	if New().Name() != "TM" || !NewLazyHybrid().hybrid {
+		t.Fatal("constructors")
+	}
+	if NewLazyHybrid().Name() != "TM-LH" {
+		t.Fatal("LH name")
+	}
+}
