@@ -116,6 +116,12 @@ type Config struct {
 	Scale float64
 	// Ns is the LAP update-set size (default 2).
 	Ns int
+	// TraceSink, when non-nil, receives every protocol event of the run
+	// (see the Tracer type and NewTraceRing / NewJSONLTracer /
+	// NewChromeTracer / NewTraceMetrics constructors). Tracing never
+	// charges simulated cycles, so the measured results are identical
+	// with or without a sink.
+	TraceSink Tracer
 }
 
 // Run simulates one application under one protocol and returns the
@@ -141,7 +147,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := harness.Run(cfg.Params, pr, prog)
+	res := harness.RunTraced(cfg.Params, pr, prog, cfg.TraceSink)
 	if res.Deadlocked {
 		return res, fmt.Errorf("aecdsm: %s under %s deadlocked", cfg.App, cfg.Protocol)
 	}

@@ -8,11 +8,14 @@
 //	aecsim -app IS -protocol AEC
 //	aecsim -app Water-ns -protocol TM -scale 0.25
 //	aecsim -app Raytrace -protocol AEC -ns 3
+//	aecsim -app IS -protocol AEC -trace is.trace -trace-format chrome
+//	aecsim -app IS -protocol AEC -metrics is-metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"aecdsm"
@@ -21,12 +24,15 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "IS", "application to run (see -list)")
-		protocol = flag.String("protocol", "AEC", "protocol: AEC, AEC-noLAP, TM, ideal")
-		scale    = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
-		ns       = flag.Int("ns", 2, "LAP update set size (AEC only)")
-		list     = flag.Bool("list", false, "list applications and protocols")
-		perProc  = flag.Bool("procs", false, "print the per-processor breakdown")
+		app       = flag.String("app", "IS", "application to run (see -list)")
+		protocol  = flag.String("protocol", "AEC", "protocol: AEC, AEC-noLAP, TM, ideal")
+		scale     = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
+		ns        = flag.Int("ns", 2, "LAP update set size (AEC only)")
+		list      = flag.Bool("list", false, "list applications and protocols")
+		perProc   = flag.Bool("procs", false, "print the per-processor breakdown")
+		traceFile = flag.String("trace", "", "write the protocol event trace to this file")
+		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
+		metrics   = flag.String("metrics", "", "write the per-lock/per-page metrics summary (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -36,9 +42,56 @@ func main() {
 		return
 	}
 
+	var sinks []aecdsm.Tracer
+	var closers []io.Closer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aecsim:", err)
+			os.Exit(1)
+		}
+		switch *traceFmt {
+		case "jsonl":
+			t := aecdsm.NewJSONLTracer(f)
+			sinks, closers = append(sinks, t), append(closers, t)
+		case "chrome":
+			t := aecdsm.NewChromeTracer(f)
+			sinks, closers = append(sinks, t), append(closers, t)
+		default:
+			fmt.Fprintf(os.Stderr, "aecsim: unknown -trace-format %q (want jsonl or chrome)\n", *traceFmt)
+			os.Exit(2)
+		}
+		closers = append(closers, f)
+	}
+	var agg *aecdsm.TraceMetrics
+	if *metrics != "" {
+		agg = aecdsm.NewTraceMetrics()
+		sinks = append(sinks, agg)
+	}
+
 	res, err := aecdsm.Run(aecdsm.Config{
 		App: *app, Protocol: *protocol, Scale: *scale, Ns: *ns,
+		TraceSink: aecdsm.MultiTracer(sinks...),
 	})
+	for _, c := range closers {
+		if cerr := c.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "aecsim: closing trace:", cerr)
+			os.Exit(1)
+		}
+	}
+	if agg != nil {
+		f, merr := os.Create(*metrics)
+		if merr == nil {
+			merr = agg.WriteJSON(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "aecsim: writing metrics:", merr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aecsim:", err)
 		os.Exit(1)

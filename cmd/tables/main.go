@@ -14,11 +14,15 @@
 //	tables -table munin    # LAP restricting Munin's update traffic (§1)
 //	tables -table overview # all seven protocols, normalized runtimes
 //	tables -table speedup  # scalability sweep 1-32 processors
+//
+// With -trace / -metrics every simulation the selected tables run is
+// traced into one combined event stream (see docs/OBSERVABILITY.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"aecdsm"
@@ -26,14 +30,64 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
-		table  = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or ns")
-		figure = flag.String("figure", "", "regenerate one figure: 3, 4, 5 or 6")
+		scale     = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
+		table     = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or ns")
+		figure    = flag.String("figure", "", "regenerate one figure: 3, 4, 5 or 6")
+		traceFile = flag.String("trace", "", "write the protocol event trace to this file")
+		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
+		metrics   = flag.String("metrics", "", "write the per-lock/per-page metrics summary (JSON) to this file")
 	)
 	flag.Parse()
 
 	e := aecdsm.NewExperiments(*scale)
 	w := os.Stdout
+
+	var sinks []aecdsm.Tracer
+	var closers []io.Closer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		switch *traceFmt {
+		case "jsonl":
+			t := aecdsm.NewJSONLTracer(f)
+			sinks, closers = append(sinks, t), append(closers, t)
+		case "chrome":
+			t := aecdsm.NewChromeTracer(f)
+			sinks, closers = append(sinks, t), append(closers, t)
+		default:
+			fmt.Fprintf(os.Stderr, "tables: unknown -trace-format %q (want jsonl or chrome)\n", *traceFmt)
+			os.Exit(2)
+		}
+		closers = append(closers, f)
+	}
+	var agg *aecdsm.TraceMetrics
+	if *metrics != "" {
+		agg = aecdsm.NewTraceMetrics()
+		sinks = append(sinks, agg)
+	}
+	e.Tracer = aecdsm.MultiTracer(sinks...)
+	defer func() {
+		for _, c := range closers {
+			if err := c.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tables: closing trace:", err)
+			}
+		}
+		if agg != nil {
+			f, err := os.Create(*metrics)
+			if err == nil {
+				err = agg.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables: writing metrics:", err)
+			}
+		}
+	}()
 
 	switch {
 	case *table == "" && *figure == "":

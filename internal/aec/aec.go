@@ -27,6 +27,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Message kinds.
@@ -151,6 +152,10 @@ func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 		if pr.opt.AffinityFactor > 0 {
 			pr.locks[i].pred.SetAffinityFactor(pr.opt.AffinityFactor)
 		}
+		if e.Tracer != nil {
+			p := pr.locks[i].pred
+			p.Tracer, p.Lock, p.Mgr, p.Clock = e.Tracer, i, pr.mgrOf(i), e.Now
+		}
 	}
 	pr.bar = barrierState{
 		arrivals: make([]*arriveMsg, pr.nprocs),
@@ -249,6 +254,15 @@ func (pr *AEC) chargeDiffCreate(c *proto.Ctx, d *mem.Diff, cat stats.Category, h
 	if d != nil {
 		c.P.Stats.DiffsCreated++
 		c.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffCreate)
+			ev.Page = d.Page
+			ev.Arg = int64(d.EncodedBytes())
+			if hidden {
+				ev.Arg2 = 1
+			}
+			pr.e.Tracer.Trace(ev)
+		}
 	}
 	c.P.Advance(cost, cat)
 }
@@ -267,6 +281,15 @@ func (pr *AEC) chargeDiffApply(c *proto.Ctx, d *mem.Diff, cat stats.Category, hi
 	}
 	c.P.Stats.DiffsApplied++
 	c.P.Stats.DiffBytesApplied += uint64(d.DataBytes())
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffApply)
+		ev.Page = d.Page
+		ev.Arg = int64(d.DataBytes())
+		if hidden {
+			ev.Arg2 = 1
+		}
+		pr.e.Tracer.Trace(ev)
+	}
 	c.P.Advance(cost, cat)
 }
 

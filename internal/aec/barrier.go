@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Barrier implements the step-based global barrier of §3.3: each arriving
@@ -17,6 +18,11 @@ func (pr *AEC) Barrier(c *proto.Ctx) {
 	st := pr.ps[c.ID]
 	if st.inCS > 0 {
 		panic("aec: barrier reached while holding a lock")
+	}
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindBarrierArrive)
+		ev.Arg = int64(st.step)
+		pr.e.Tracer.Trace(ev)
 	}
 
 	// Build the arrival lists.
@@ -89,6 +95,12 @@ func (pr *AEC) Barrier(c *proto.Ctx) {
 	for _, ws := range instr.wnSends {
 		for _, q := range ws.targets {
 			c.P.Stats.WriteNoticesSent++
+			if pr.e.Tracer != nil {
+				ev := trace.Ev(c.P.Clock, c.ID, trace.KindWriteNotice)
+				ev.Page = ws.page
+				ev.Arg = int64(q)
+				pr.e.Tracer.Trace(ev)
+			}
 			pr.e.SendFrom(c.P, stats.Synch, q, kBarWN, 16,
 				barWNMsg{wn: mem.WriteNotice{Page: ws.page, Writer: c.ID, Step: st.step}},
 				pr.handleBarWN)
@@ -373,6 +385,12 @@ func (pr *AEC) handleBarDiff(s *sim.Svc, m *sim.Msg) {
 		ctx.P.Stats.DiffApplyHidden += cost
 		ctx.P.Stats.DiffsApplied++
 		ctx.P.Stats.DiffBytesApplied += uint64(bd.diff.DataBytes())
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(s.Now, m.To, trace.KindDiffApply)
+			ev.Page = bd.page
+			ev.Arg, ev.Arg2 = int64(bd.diff.DataBytes()), 1
+			pr.e.Tracer.Trace(ev)
+		}
 		bd.diff.Apply(f.Data)
 		base := pr.s.PageBase(bd.page)
 		for _, r := range bd.diff.Runs {
@@ -430,6 +448,11 @@ func (pr *AEC) handleBarComplete(s *sim.Svc, m *sim.Msg) {
 
 // finalizeStep moves a processor into the next barrier step.
 func (pr *AEC) finalizeStep(c *proto.Ctx, st *procState) {
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindBarrierDepart)
+		ev.Arg = int64(st.step)
+		pr.e.Tracer.Trace(ev)
+	}
 	// Re-protect pages that a release left writable: the first write of
 	// the new step must trap so the previous step's accumulated diff is
 	// archived, the twin renewed, and the page reported in the next

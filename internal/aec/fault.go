@@ -8,6 +8,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Fault implements the access-fault protocol of §3.4. On entry the page is
@@ -135,6 +136,12 @@ func (pr *AEC) fetchPage(c *proto.Ctx, st *procState, page int, f *mem.Frame) {
 		pageReq{page: page, tk: tk, from: c.ID}, pr.handlePageReq)
 	c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
 	c.P.Stats.PageFetchBytes += uint64(len(tk.page))
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindPageFetch)
+		ev.Page = page
+		ev.Arg, ev.Arg2 = int64(home), int64(len(tk.page))
+		pr.e.Tracer.Trace(ev)
+	}
 	pr.debugf(c.ID, page, "fetchPage from home %d, wns=%v", home, tk.wns)
 	// Copy the page in across the memory bus.
 	cost := c.P.MemBus.Cost(c.P.Clock, pr.e.Params.Words(pr.pageSize))

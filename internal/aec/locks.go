@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Acquire implements the lock acquire operation of §3.2: send the
@@ -20,6 +21,12 @@ func (pr *AEC) Acquire(c *proto.Ctx, lock int) {
 	pp := &pr.e.Params
 
 	pr.lockf("p%d acqreq lock %d", c.ID, lock)
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindLockRequest)
+		ev.Lock = lock
+		ev.Arg = int64(pr.mgrOf(lock))
+		pr.e.Tracer.Trace(ev)
+	}
 	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq, 8,
 		acqReq{lock: lock}, pr.handleAcqReq)
 
@@ -235,6 +242,12 @@ func (pr *AEC) handleGrant(s *sim.Svc, m *sim.Msg) {
 	g := m.Payload.(grantMsg)
 	st := pr.ps[m.To]
 	st.grant = &g
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(s.Now, m.To, trace.KindLockGrant)
+		ev.Lock = g.lock
+		ev.Arg, ev.Arg2 = int64(g.lastReleaser), int64(g.myCount)
+		pr.e.Tracer.Trace(ev)
+	}
 	s.Wake(s.P)
 }
 
@@ -247,6 +260,12 @@ func (pr *AEC) Release(c *proto.Ctx, lock int) {
 	st := pr.ps[c.ID]
 	if st.inCS == 0 || st.curLock != lock {
 		panic(fmt.Sprintf("aec: release of lock %d not held (cur %d)", lock, st.curLock))
+	}
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindLockRelease)
+		ev.Lock = lock
+		ev.Arg = int64(st.lockMyCount[lock])
+		pr.e.Tracer.Trace(ev)
 	}
 
 	// Top up the inherited chain: any cumulative pages we never faulted
@@ -287,6 +306,12 @@ func (pr *AEC) Release(c *proto.Ctx, lock int) {
 			if inherited[pg] != nil {
 				c.P.Stats.DiffsMerged++
 				c.P.Stats.MergedBytes += uint64(m.EncodedBytes())
+				if pr.e.Tracer != nil {
+					ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffMerge)
+					ev.Page = pg
+					ev.Arg = int64(m.EncodedBytes())
+					pr.e.Tracer.Trace(ev)
+				}
 			}
 		}
 		c.M.DropTwin(pg)
@@ -312,6 +337,12 @@ func (pr *AEC) Release(c *proto.Ctx, lock int) {
 			}
 			c.P.Stats.UpdatesPushed++
 			c.P.Stats.UpdateBytesPushed += uint64(bytes)
+			if pr.e.Tracer != nil {
+				ev := trace.Ev(c.P.Clock, c.ID, trace.KindLAPPush)
+				ev.Lock = lock
+				ev.Arg, ev.Arg2 = int64(q), int64(bytes)
+				pr.e.Tracer.Trace(ev)
+			}
 			pr.lockf("p%d push lock %d count %d to p%d (%d pages)", c.ID, lock, myCount, q, len(pages))
 			pr.e.SendFrom(c.P, stats.Synch, q, kPush, bytes,
 				pushMsg{lock: lock, from: c.ID, count: myCount, step: st.step, diffs: diffs},

@@ -10,6 +10,7 @@ import (
 	"aecdsm/internal/munin"
 	"aecdsm/internal/proto"
 	"aecdsm/internal/tm"
+	"aecdsm/internal/trace"
 )
 
 // ProtocolKind selects which protocol an experiment run uses.
@@ -39,6 +40,11 @@ type runKey struct {
 type Experiments struct {
 	Params memsys.Params
 	Scale  float64
+
+	// Tracer, when non-nil, is attached to every simulation the driver
+	// runs. Because runs are memoized, each (app, protocol, ns) triple
+	// traces at most once.
+	Tracer trace.Tracer
 
 	cache map[runKey]*Result
 	// LAP statistics are harvested from the protocol right after each
@@ -107,7 +113,7 @@ func (e *Experiments) RunNs(app string, kind ProtocolKind, ns int) *Result {
 	}
 	prog := factory(e.Scale)
 	pr := e.protocol(kind, ns)
-	res := MustRun(e.Params, pr, prog)
+	res := MustRunTraced(e.Params, pr, prog, e.Tracer)
 	e.cache[key] = res
 
 	if g, ok := prog.(apps.LockGrouper); ok {

@@ -11,6 +11,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // memorySharer is implemented by protocols (the ideal one) under which all
@@ -37,6 +38,15 @@ func (r *Result) Cycles() uint64 { return r.Run.Cycles }
 // returns the measurements. It panics on configuration errors; protocol
 // deadlocks are reported in the result.
 func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
+	return RunTraced(params, pr, prog, nil)
+}
+
+// RunTraced is Run with an event tracer attached to every layer of the
+// stack (engine, interconnect, per-processor memories, protocol). A nil
+// tracer is exactly Run: the hooks stay dormant behind their nil checks
+// and the simulated cycle counts are identical either way — tracing never
+// charges simulated time.
+func RunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer) *Result {
 	space := mem.NewSpace(params.PageSize)
 	prog.Init(space, params.NumProcs)
 	if nl, ok := pr.(proto.NumLocksProvider); ok {
@@ -45,6 +55,10 @@ func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
 
 	run := stats.NewRun(prog.Name(), pr.Name(), params.NumProcs)
 	eng := sim.New(params, run)
+	// The tracer must be in place before Attach so protocols can wire
+	// their per-lock predictors (and any other sub-tracers) off it.
+	eng.Tracer = tr
+	eng.Net.Tracer = tr
 
 	shared := false
 	if ms, ok := pr.(memorySharer); ok && ms.SharesMemory() {
@@ -61,6 +75,11 @@ func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
 		if !shared {
 			m = mem.NewProcMem(space, i)
 		}
+		if tr != nil && m.Tracer == nil {
+			p := eng.Procs[m.Proc()]
+			m.Tracer = tr
+			m.Clock = func() uint64 { return p.Clock }
+		}
 		ctxs[i] = proto.NewCtx(eng.Procs[i], eng, m, space, pr, i, params.NumProcs)
 	}
 	pr.Attach(eng, space, ctxs)
@@ -72,7 +91,18 @@ func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
 			pr.Done(c)
 		})
 	}
+	if tr != nil {
+		ev := trace.Ev(0, 0, trace.KindRunStart)
+		ev.Arg = int64(params.NumProcs)
+		ev.Note = prog.Name() + "/" + pr.Name()
+		tr.Trace(ev)
+	}
 	eng.Start()
+	if tr != nil {
+		ev := trace.Ev(run.Cycles, 0, trace.KindRunEnd)
+		ev.Note = prog.Name() + "/" + pr.Name()
+		tr.Trace(ev)
+	}
 
 	return &Result{
 		Run:        run,
@@ -86,7 +116,12 @@ func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
 // MustRun is Run plus a panic on deadlock or verification failure; used by
 // the experiment drivers where a failure invalidates the whole table.
 func MustRun(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
-	r := Run(params, pr, prog)
+	return MustRunTraced(params, pr, prog, nil)
+}
+
+// MustRunTraced is RunTraced plus the MustRun failure panics.
+func MustRunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer) *Result {
+	r := RunTraced(params, pr, prog, tr)
 	if r.Deadlocked {
 		panic(fmt.Sprintf("harness: %s under %s deadlocked", prog.Name(), pr.Name()))
 	}

@@ -9,7 +9,12 @@
 // bookkeeping behind Table 3 of the paper.
 package lap
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"aecdsm/internal/trace"
+)
 
 // DefaultAffinityFactor is the paper's threshold: a processor belongs to
 // the affinity set when its transfer count is at least 60% greater than
@@ -41,6 +46,22 @@ type Predictor struct {
 	pendWaitVirt []int
 
 	Stats Stats
+
+	// Tracer, when non-nil, receives lap-notice, lap-predict and
+	// lap-hit/lap-miss events for this lock. The hosting protocol wires
+	// Lock (the lock id), Mgr (the managing processor, stamped as the
+	// event's Proc) and Clock (the manager-side time source).
+	Tracer trace.Tracer
+	Lock   int
+	Mgr    int
+	Clock  func() uint64
+}
+
+func (p *Predictor) now() uint64 {
+	if p.Clock == nil {
+		return 0
+	}
+	return p.Clock()
 }
 
 // Stats aggregates LAP accuracy for one lock (Table 3).
@@ -124,6 +145,12 @@ func (p *Predictor) QueueLen() int { return len(p.waitQ) }
 // Notice records an acquire notice: proc intends to take the lock soon.
 func (p *Predictor) Notice(proc int) {
 	p.Stats.NoticesSeen++
+	if p.Tracer != nil {
+		ev := trace.Ev(p.now(), p.Mgr, trace.KindLAPNotice)
+		ev.Lock = p.Lock
+		ev.Arg = int64(proc)
+		p.Tracer.Trace(ev)
+	}
 	for _, q := range p.virtQ {
 		if q == proc {
 			return
@@ -145,6 +172,16 @@ func (p *Predictor) Granted(to, prev int) {
 	// the paper's success-rate accounting.
 	if p.pending && prev == p.pendHolder {
 		p.Stats.Evaluated++
+		if p.Tracer != nil {
+			kind := trace.KindLAPMiss
+			if to == prev || contains(p.pendFull, to) {
+				kind = trace.KindLAPHit
+			}
+			ev := trace.Ev(p.now(), p.Mgr, kind)
+			ev.Lock = p.Lock
+			ev.Arg, ev.Arg2 = int64(to), int64(prev)
+			p.Tracer.Trace(ev)
+		}
 		if to == prev {
 			p.Stats.SelfTransfers++
 			p.Stats.HitFull++
@@ -181,6 +218,13 @@ func (p *Predictor) Granted(to, prev int) {
 	}
 	p.pendWaitAff = p.techniqueWaitAff(to)
 	p.pendWaitVirt = p.techniqueWaitVirt(to)
+	if p.Tracer != nil {
+		ev := trace.Ev(p.now(), p.Mgr, trace.KindLAPPredict)
+		ev.Lock = p.Lock
+		ev.Arg = int64(to)
+		ev.Note = fmt.Sprint(p.pendFull)
+		p.Tracer.Trace(ev)
+	}
 }
 
 func (p *Predictor) removeNotice(proc int) {

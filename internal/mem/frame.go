@@ -1,5 +1,7 @@
 package mem
 
+import "aecdsm/internal/trace"
+
 // Frame is one processor's copy of one shared page, with the software
 // MMU bits a SW-DSM keeps per page. With no page-fault hardware available,
 // the Valid/WriteOK bits are checked explicitly on every DSM access, which
@@ -27,13 +29,21 @@ type Frame struct {
 type ProcMem struct {
 	space  *Space
 	frames []Frame
+	proc   int
+
+	// Tracer and Clock, when both non-nil, emit twin-create and
+	// invalidate events stamped with the owning processor's virtual time.
+	// The harness wires them when tracing is enabled; the nil default
+	// keeps the hot path to one branch.
+	Tracer trace.Tracer
+	Clock  func() uint64
 }
 
 // NewProcMem builds the per-processor memory for the space. Pages homed at
 // proc start valid with the initial image; everything else starts invalid
 // (cold), as on a real network of workstations.
 func NewProcMem(space *Space, proc int) *ProcMem {
-	m := &ProcMem{space: space, frames: make([]Frame, space.Pages())}
+	m := &ProcMem{space: space, frames: make([]Frame, space.Pages()), proc: proc}
 	for pg := range m.frames {
 		if space.InitHome(pg) == proc {
 			f := &m.frames[pg]
@@ -71,6 +81,9 @@ func (m *ProcMem) Peek(page int) *Frame { return &m.frames[page] }
 
 // Pages returns the number of pages.
 func (m *ProcMem) Pages() int { return len(m.frames) }
+
+// Proc returns the owning processor id this memory was built for.
+func (m *ProcMem) Proc() int { return m.proc }
 
 // Space returns the global space this memory views.
 func (m *ProcMem) Space() *Space { return m.space }
@@ -116,6 +129,11 @@ func (m *ProcMem) MakeTwin(page int) {
 		f.Twin = make([]byte, len(f.Data))
 	}
 	copy(f.Twin, f.Data)
+	if m.Tracer != nil {
+		ev := trace.Ev(m.Clock(), m.proc, trace.KindTwinCreate)
+		ev.Page = page
+		m.Tracer.Trace(ev)
+	}
 }
 
 // DropTwin discards the page's twin.
@@ -126,6 +144,11 @@ func (m *ProcMem) DropTwin(page int) {
 // Invalidate marks the page unreadable here.
 func (m *ProcMem) Invalidate(page int) {
 	m.frames[page].Valid = false
+	if m.Tracer != nil {
+		ev := trace.Ev(m.Clock(), m.proc, trace.KindInvalidate)
+		ev.Page = page
+		m.Tracer.Trace(ev)
+	}
 }
 
 // Validate marks the page readable, replacing its contents.

@@ -3,6 +3,11 @@
 // processor page frames with valid/twin state, run-length-encoded diffs,
 // diff merging, and write notices — the building blocks every SW-DSM
 // protocol in this repository (AEC, AEC-noLAP, TreadMarks) manipulates.
+//
+// When tracing is enabled (see aecdsm/internal/trace and
+// docs/OBSERVABILITY.md), ProcMem emits twin-create and invalidate events
+// through its Tracer hook; with the hook nil — the default — the cost is a
+// single branch per operation.
 package mem
 
 import "fmt"

@@ -12,6 +12,11 @@
 // data update only the LAP update set and *invalidate* the remaining
 // sharers, turning the protocol into a prediction-driven update/invalidate
 // hybrid.
+//
+// With tracing enabled (see aecdsm/internal/trace and
+// docs/OBSERVABILITY.md) every release's eager update fan-out appears as
+// update-push events, which is the easiest way to see the §1 contrast
+// between Munin's all-sharers traffic and the LAP-restricted variant.
 package munin
 
 import (
@@ -23,6 +28,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Message kinds.
@@ -199,7 +205,11 @@ func (pr *Munin) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	}
 	pr.locks = make([]*lockState, pr.numLocks)
 	for i := range pr.locks {
-		pr.locks[i] = &lockState{pred: lap.New(pr.nprocs, pr.opt.Ns), holder: -1, last: -1}
+		p := lap.New(pr.nprocs, pr.opt.Ns)
+		if e.Tracer != nil {
+			p.Tracer, p.Lock, p.Mgr, p.Clock = e.Tracer, i, pr.mgrOf(i), e.Now
+		}
+		pr.locks[i] = &lockState{pred: p, holder: -1, last: -1}
 	}
 	pr.pages = make([]pageState, s.Pages())
 	for pg := range pr.pages {
@@ -331,6 +341,12 @@ func (pr *Munin) handlePageReq(s *sim.Svc, m *sim.Msg) {
 func (pr *Munin) Acquire(c *proto.Ctx, lock int) {
 	st := pr.ps[c.ID]
 	st.grant = false
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindLockRequest)
+		ev.Lock = lock
+		ev.Arg = int64(pr.mgrOf(lock))
+		pr.e.Tracer.Trace(ev)
+	}
 	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq, 8,
 		acqReq{lock: lock, from: c.ID}, pr.handleAcqReq)
 	c.P.WaitTag = "munin grant"
@@ -366,6 +382,12 @@ func (pr *Munin) grantLock(s *sim.Svc, lock, to int) {
 		func(s2 *sim.Svc, m2 *sim.Msg) {
 			g := m2.Payload.(grantMsg)
 			st := pr.ps[m2.To]
+			if pr.e.Tracer != nil {
+				ev := trace.Ev(s2.Now, m2.To, trace.KindLockGrant)
+				ev.Lock = g.lock
+				ev.Arg, ev.Arg2 = int64(m2.From), int64(len(g.us))
+				pr.e.Tracer.Trace(ev)
+			}
 			st.grant = true
 			pr.ps[m2.To].usForLock(g.lock, g.us)
 			s2.Wake(s2.P)
@@ -383,6 +405,11 @@ func (st *procState) usForLock(lock int, us []int) {
 // the rest), wait until they are applied, then hand the lock back.
 func (pr *Munin) Release(c *proto.Ctx, lock int) {
 	st := pr.ps[c.ID]
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindLockRelease)
+		ev.Lock = lock
+		pr.e.Tracer.Trace(ev)
+	}
 	pr.flush(c, st, st.curLockUS, pr.opt.UseLAP)
 	st.inCS--
 	st.curLock = -1
@@ -441,6 +468,12 @@ func (pr *Munin) flush(c *proto.Ctx, st *procState, us []int, restrict bool) {
 		sent++
 		c.P.Stats.UpdatesPushed++
 		c.P.Stats.UpdateBytesPushed += uint64(d.EncodedBytes())
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(c.P.Clock, c.ID, trace.KindUpdatePush)
+			ev.Page = pg
+			ev.Arg, ev.Arg2 = int64(pr.homeOf(pg)), int64(d.EncodedBytes())
+			pr.e.Tracer.Trace(ev)
+		}
 		pr.e.SendFrom(c.P, stats.Synch, pr.homeOf(pg), kUpdate, d.EncodedBytes(),
 			updateMsg{page: pg, diff: d, releaser: c.ID, us: us, restrict: restrict},
 			pr.handleUpdate)
@@ -588,10 +621,16 @@ func (pr *Munin) handleFwdInval(s *sim.Svc, m *sim.Msg) {
 func (pr *Munin) Barrier(c *proto.Ctx) {
 	st := pr.ps[c.ID]
 	pr.flush(c, st, nil, false)
+	if pr.e.Tracer != nil {
+		pr.e.Tracer.Trace(trace.Ev(c.P.Clock, c.ID, trace.KindBarrierArrive))
+	}
 	st.barOut = false
 	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 8, c.ID, pr.handleBarArrive)
 	c.P.WaitTag = "munin barrier"
 	c.P.WaitUntil(func() bool { return st.barOut }, stats.Synch)
+	if pr.e.Tracer != nil {
+		pr.e.Tracer.Trace(trace.Ev(c.P.Clock, c.ID, trace.KindBarrierDepart))
+	}
 	c.Epoch++
 }
 

@@ -2,12 +2,18 @@
 // workstations: a 2-D mesh with wormhole routing, dimension-order (XY)
 // paths, and per-link FIFO contention, using the latency parameters of
 // Table 1 of the AEC paper (switch latency, wire latency, 16-bit paths).
+//
+// When tracing is enabled (see aecdsm/internal/trace and
+// docs/OBSERVABILITY.md), every Transfer emits a net-transfer event
+// carrying the link-contention wait the message suffered, which is how
+// interconnect hot spots show up in the metrics summary.
 package network
 
 import (
 	"fmt"
 
 	"aecdsm/internal/memsys"
+	"aecdsm/internal/trace"
 )
 
 // Mesh is a W x H wormhole-routed mesh. Node i sits at (i%W, i/W). Links
@@ -27,6 +33,10 @@ type Mesh struct {
 	BytesMoved uint64
 	HopsTotal  uint64
 	WaitCycles uint64
+
+	// Tracer, when non-nil, receives one KindNetTransfer event per
+	// message with the link-contention wait it suffered.
+	Tracer trace.Tracer
 }
 
 // NewMesh builds the mesh described by the parameter set.
@@ -113,16 +123,23 @@ func (m *Mesh) Transfer(now uint64, from, to, bytes int) uint64 {
 	t := now // time the header is ready to enter the next link
 	path := m.route(make([]int, 0, m.w+m.h), from, to)
 	m.HopsTotal += uint64(len(path))
+	var waited uint64
 	for _, l := range path {
 		start := t
 		if m.linkFree[l] > start {
-			m.WaitCycles += m.linkFree[l] - start
+			waited += m.linkFree[l] - start
 			start = m.linkFree[l]
 		}
 		// Header crosses the switch and wire of this hop.
 		t = start + m.switchCy + m.wireCy
 		// The link is held until the tail flit has crossed it.
 		m.linkFree[l] = t + bodyCy
+	}
+	m.WaitCycles += waited
+	if m.Tracer != nil {
+		ev := trace.Ev(now, from, trace.KindNetTransfer)
+		ev.Arg, ev.Arg2 = int64(to), int64(waited)
+		m.Tracer.Trace(ev)
 	}
 	// Tail arrival: header arrival plus the pipelined body.
 	return t + bodyCy

@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/mem"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Ctx is the DSM context a simulated processor programs against: typed
@@ -93,6 +94,14 @@ func (c *Ctx) fault(pg int, write bool) {
 	}
 	if !c.M.Peek(pg).EverValid {
 		c.P.Stats.ColdFaults++
+	}
+	if c.E.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindPageFault)
+		ev.Page = pg
+		if write {
+			ev.Arg = 1
+		}
+		c.E.Tracer.Trace(ev)
 	}
 	start := c.P.Clock
 	// Fault trap: interrupt-class overhead, charged like other

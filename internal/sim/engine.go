@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/network"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Engine drives the simulation: it owns virtual time, the event queue, the
@@ -18,6 +19,12 @@ type Engine struct {
 	Net    *network.Mesh
 	Procs  []*Proc
 	Run    *stats.Run
+
+	// Tracer receives protocol events when non-nil. Emission never
+	// charges simulated cycles, so tracing cannot perturb the run;
+	// protocols nil-check before building events so the disabled path
+	// costs one branch.
+	Tracer trace.Tracer
 
 	now      Time
 	seq      uint64

@@ -1,6 +1,9 @@
 package sim
 
-import "aecdsm/internal/stats"
+import (
+	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
+)
 
 // Msg is a protocol message in flight.
 type Msg struct {
@@ -65,6 +68,11 @@ func (e *Engine) sendAt(from *Proc, now Time, to, kind, bytes int, payload any, 
 	size := bytes + pp.MsgHeaderBytes
 	from.Stats.MsgsSent++
 	from.Stats.BytesSent += uint64(size)
+	if e.Tracer != nil {
+		ev := trace.Ev(now, from.ID, trace.KindMsgSend)
+		ev.Arg, ev.Arg2 = int64(to), int64(size)
+		e.Tracer.Trace(ev)
+	}
 
 	senderDone := now + pp.MsgOverheadCycles
 	if to != from.ID {
@@ -95,6 +103,11 @@ func (e *Engine) deliver(m *Msg, h Handler) {
 	h(s, m)
 	p.svcBusyUntil = s.Now
 	svc := s.Now - start
+	if e.Tracer != nil {
+		ev := trace.Ev(start, m.To, trace.KindMsgDeliver)
+		ev.Arg, ev.Arg2 = int64(m.From), int64(svc)
+		e.Tracer.Trace(ev)
+	}
 	if p.Blocked() || p.done {
 		// Service overlapped an existing stall: hidden.
 		p.Stats.IPCHiddenCycles += svc

@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Fault implements the TreadMarks access miss: fetch a base copy if the
@@ -68,6 +69,12 @@ func (pr *TM) fetchPage(c *proto.Ctx, st *tmProc, page int, f *mem.Frame) {
 		pageReq{page: page, tk: tk, from: c.ID}, pr.handlePageReq)
 	c.P.WaitUntil(func() bool { return tk.done }, stats.Data)
 	c.P.Stats.PageFetchBytes += uint64(len(tk.page))
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindPageFetch)
+		ev.Page = page
+		ev.Arg, ev.Arg2 = int64(home), int64(len(tk.page))
+		pr.e.Tracer.Trace(ev)
+	}
 	cost := c.P.MemBus.Cost(c.P.Clock, pr.e.Params.Words(pr.pageSize))
 	c.P.Advance(cost, stats.Data)
 	copy(f.Data, tk.page)
@@ -145,6 +152,12 @@ func (pr *TM) fetchAndApplyDiffs(c *proto.Ctx, st *tmProc, page int, wns []wnRef
 		c.P.Stats.DiffsApplied++
 		c.P.Stats.DiffBytesApplied += uint64(fd.d.DataBytes())
 		c.P.Advance(cost, stats.Data)
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffApply)
+			ev.Page = page
+			ev.Arg, ev.Arg2 = int64(fd.d.DataBytes()), int64(fd.proc)
+			pr.e.Tracer.Trace(ev)
+		}
 		fd.d.Apply(f.Data)
 		base := pr.s.PageBase(page)
 		for _, r := range fd.d.Runs {

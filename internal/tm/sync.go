@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Acquire implements the lazy-release-consistency acquire: request the
@@ -16,6 +17,12 @@ import (
 func (pr *TM) Acquire(c *proto.Ctx, lock int) {
 	st := pr.ps[c.ID]
 	st.grant = nil
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindLockRequest)
+		ev.Lock = lock
+		ev.Arg = int64(pr.mgrOf(lock))
+		pr.e.Tracer.Trace(ev)
+	}
 	vc := append([]int(nil), st.vc...)
 	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kAcqReq, 8+4*pr.nprocs,
 		acqReq{lock: lock, vc: vc, from: c.ID}, pr.handleAcqReq)
@@ -167,6 +174,12 @@ func (pr *TM) handleGrantReq(s *sim.Svc, m *sim.Msg) {
 // handleGrant lands the grant at the acquirer.
 func (pr *TM) handleGrant(s *sim.Svc, m *sim.Msg) {
 	g := m.Payload.(grantMsg)
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(s.Now, m.To, trace.KindLockGrant)
+		ev.Lock = g.lock
+		ev.Arg, ev.Arg2 = int64(m.From), int64(len(g.wns))
+		pr.e.Tracer.Trace(ev)
+	}
 	pr.ps[m.To].grant = &g
 	s.Wake(s.P)
 }
@@ -176,6 +189,11 @@ func (pr *TM) handleGrant(s *sim.Svc, m *sim.Msg) {
 // acquire.
 func (pr *TM) Release(c *proto.Ctx, lock int) {
 	st := pr.ps[c.ID]
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindLockRelease)
+		ev.Lock = lock
+		pr.e.Tracer.Trace(ev)
+	}
 	pr.closeInterval(c, st)
 	c.Epoch++
 	pr.e.SendFrom(c.P, stats.Synch, pr.mgrOf(lock), kRel, 8,
@@ -225,6 +243,11 @@ func (pr *TM) Barrier(c *proto.Ctx) {
 	st.lastBarSeq = st.vc[st.id]
 	c.P.Advance(pr.e.Params.ListCycles(len(wns)), stats.Synch)
 
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindBarrierArrive)
+		ev.Arg = int64(len(wns))
+		pr.e.Tracer.Trace(ev)
+	}
 	st.barOut = false
 	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 16+16*len(wns)+4*pr.nprocs,
 		barArrive{proc: c.ID, vc: append([]int(nil), st.vc...), wns: wns},
@@ -272,6 +295,11 @@ func (pr *TM) handleBarRelease(s *sim.Svc, m *sim.Msg) {
 	fresh := pr.applyWNs(ctx, st, r.wns)
 	s.ChargeList(fresh)
 	mergeVC(st.vc, r.vc)
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(s.Now, m.To, trace.KindBarrierDepart)
+		ev.Arg = int64(fresh)
+		pr.e.Tracer.Trace(ev)
+	}
 	st.barOut = true
 	s.Wake(s.P)
 }

@@ -9,6 +9,12 @@
 //   - creates diffs lazily, when a faulting processor requests them — so
 //     diff creation sits on the critical path of both the generator and
 //     the requester, the overhead AEC's eager overlapped diffing removes.
+//
+// Like every protocol here, TM emits lock, barrier, fault and diff trace
+// events through the engine's nil-checked Tracer (see
+// aecdsm/internal/trace and docs/OBSERVABILITY.md), which makes the
+// lazy-diff critical-path costs directly comparable with AEC's in one
+// merged Perfetto timeline.
 package tm
 
 import (
@@ -19,6 +25,7 @@ import (
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/trace"
 )
 
 // Message kinds.
@@ -253,7 +260,11 @@ func (pr *TM) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	}
 	pr.locks = make([]*lockState, pr.numLocks)
 	for i := range pr.locks {
-		pr.locks[i] = &lockState{holder: -1, lastReleaser: -1, pred: lap.New(pr.nprocs, 2)}
+		p := lap.New(pr.nprocs, 2)
+		if e.Tracer != nil {
+			p.Tracer, p.Lock, p.Mgr, p.Clock = e.Tracer, i, pr.mgrOf(i), e.Now
+		}
+		pr.locks[i] = &lockState{holder: -1, lastReleaser: -1, pred: p}
 	}
 	pr.bar.vc = make([]int, pr.nprocs)
 	pr.bar.arr = make([]bool, pr.nprocs)
@@ -333,6 +344,12 @@ func (pr *TM) forceDiff(c *proto.Ctx, st *tmProc, pg int, cat stats.Category) {
 	if d == nil {
 		d = &mem.Diff{Page: pg}
 	}
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffCreate)
+		ev.Page = pg
+		ev.Arg = int64(d.EncodedBytes())
+		pr.e.Tracer.Trace(ev)
+	}
 	rec.diffs[pg] = d
 	delete(rec.twins, pg)
 	delete(st.undiffed, pg)
@@ -361,6 +378,12 @@ func (pr *TM) svcDiff(s *sim.Svc, st *tmProc, rec *interval, pg int) *mem.Diff {
 	} else {
 		ctx.P.Stats.DiffsCreated++
 		ctx.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+	}
+	if pr.e.Tracer != nil {
+		ev := trace.Ev(s.Now, st.id, trace.KindDiffCreate)
+		ev.Page = pg
+		ev.Arg = int64(d.EncodedBytes())
+		pr.e.Tracer.Trace(ev)
 	}
 	rec.diffs[pg] = d
 	delete(rec.twins, pg)

@@ -1,0 +1,219 @@
+// Package trace is the protocol-event tracing and metrics-export subsystem
+// of the reproduction: a typed, low-overhead event stream emitted by the
+// simulator (internal/sim), the protocols (internal/aec, internal/tm,
+// internal/munin), the LAP predictor (internal/lap), the shared-memory
+// substrate (internal/mem) and the interconnect (internal/network).
+//
+// Every emission site holds a Tracer interface value that is nil by
+// default: with tracing disabled the whole subsystem costs one predictable
+// branch per site and zero allocations, and — crucially — tracing never
+// charges simulated cycles, so enabling it cannot perturb the simulation.
+// Two runs with identical configurations produce identical event streams
+// (the simulator is deterministic and emission order follows execution
+// order).
+//
+// Sinks provided:
+//
+//   - Ring: a fixed-capacity in-memory ring buffer (tests, interactive
+//     debugging);
+//   - JSONL: one JSON object per line, byte-deterministic (diffable);
+//   - Chrome: the Chrome trace_event format, loadable in Perfetto /
+//     about://tracing, rendering each simulated processor as a track;
+//   - Metrics: an aggregating sink producing a per-run JSON summary
+//     (lock hold/wait histograms, LAP accuracy per lock, diff bytes per
+//     page).
+//
+// Multi combines several sinks. See docs/OBSERVABILITY.md for the event
+// taxonomy and worked examples.
+package trace
+
+// Kind labels a protocol event. The taxonomy covers the paper's cost
+// attribution: lock protocol, LAP prediction, page faults and fetches,
+// twin/diff lifecycle, write notices, barriers, and messaging.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindRunStart opens a run; Note holds "app/protocol".
+	KindRunStart Kind = iota
+	// KindRunEnd closes a run; Cycle is the parallel execution time.
+	KindRunEnd
+	// KindLockRequest: a processor sends a lock ownership request.
+	// Arg = manager processor.
+	KindLockRequest
+	// KindLockGrant: the manager's grant lands at the acquirer.
+	// Arg = last releaser (-1 on first acquisition), Arg2 = acquire count.
+	KindLockGrant
+	// KindLockRelease: the holder starts releasing the lock.
+	// Arg = acquire count of its tenure.
+	KindLockRelease
+	// KindLAPNotice: an acquire notice reaches the lock manager
+	// (virtual-queue insertion). Proc = manager, Arg = notifying processor.
+	KindLAPNotice
+	// KindLAPPredict: the manager computes an update set for a new holder.
+	// Proc = manager, Arg = holder, Note = the update set, e.g. "[3 7]".
+	KindLAPPredict
+	// KindLAPHit: the recorded prediction named the actual next acquirer.
+	// Proc = manager, Arg = actual acquirer, Arg2 = previous holder.
+	KindLAPHit
+	// KindLAPMiss: the prediction missed the actual next acquirer.
+	// Proc = manager, Arg = actual acquirer, Arg2 = previous holder.
+	KindLAPMiss
+	// KindLAPPush: a releaser pushes merged diffs to an update-set member.
+	// Arg = target processor, Arg2 = encoded bytes.
+	KindLAPPush
+	// KindUpdatePush: an eager-update protocol (Munin) pushes a diff to a
+	// sharer. Arg = target (home) processor, Arg2 = encoded bytes.
+	KindUpdatePush
+	// KindPageFault: the software MMU trapped an access.
+	// Arg = 1 for a write fault, 0 for a read fault.
+	KindPageFault
+	// KindPageFetch: a base page copy arrived from its home.
+	// Arg = home processor, Arg2 = bytes moved.
+	KindPageFetch
+	// KindTwinCreate: a pristine twin of a page was made before writing.
+	KindTwinCreate
+	// KindDiffCreate: a diff was encoded from a page/twin pair.
+	// Arg = encoded bytes, Arg2 = 1 if hidden behind synchronization.
+	KindDiffCreate
+	// KindDiffApply: a diff was patched into a local frame.
+	// Arg = data bytes, Arg2 = 1 if hidden behind synchronization.
+	KindDiffApply
+	// KindDiffMerge: a new diff was merged into an inherited chain.
+	// Arg = merged encoded bytes.
+	KindDiffMerge
+	// KindWriteNotice: a write notice was sent. Arg = target processor.
+	KindWriteNotice
+	// KindInvalidate: a local page copy was invalidated.
+	KindInvalidate
+	// KindBarrierArrive: a processor arrived at the global barrier.
+	// Arg = barrier step being completed.
+	KindBarrierArrive
+	// KindBarrierDepart: a processor departed into a new step.
+	// Arg = step just completed.
+	KindBarrierDepart
+	// KindMsgSend: a protocol message left a node. Arg = destination,
+	// Arg2 = bytes on the wire (payload + header).
+	KindMsgSend
+	// KindMsgDeliver: a message was serviced at its destination.
+	// Arg = source, Arg2 = service cycles spent in the handler.
+	KindMsgDeliver
+	// KindNetTransfer: a message crossed the mesh. Arg = destination,
+	// Arg2 = cycles spent waiting for contended links.
+	KindNetTransfer
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindRunStart:      "run-start",
+	KindRunEnd:        "run-end",
+	KindLockRequest:   "lock-request",
+	KindLockGrant:     "lock-grant",
+	KindLockRelease:   "lock-release",
+	KindLAPNotice:     "lap-notice",
+	KindLAPPredict:    "lap-predict",
+	KindLAPHit:        "lap-hit",
+	KindLAPMiss:       "lap-miss",
+	KindLAPPush:       "lap-push",
+	KindUpdatePush:    "update-push",
+	KindPageFault:     "page-fault",
+	KindPageFetch:     "page-fetch",
+	KindTwinCreate:    "twin-create",
+	KindDiffCreate:    "diff-create",
+	KindDiffApply:     "diff-apply",
+	KindDiffMerge:     "diff-merge",
+	KindWriteNotice:   "write-notice",
+	KindInvalidate:    "invalidate",
+	KindBarrierArrive: "barrier-arrive",
+	KindBarrierDepart: "barrier-depart",
+	KindMsgSend:       "msg-send",
+	KindMsgDeliver:    "msg-deliver",
+	KindNetTransfer:   "net-transfer",
+}
+
+// String returns the stable wire name of the kind (used by all sinks).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Category returns the coarse event family, used as the Chrome trace
+// category and for filtering.
+func (k Kind) Category() string {
+	switch k {
+	case KindRunStart, KindRunEnd:
+		return "run"
+	case KindLockRequest, KindLockGrant, KindLockRelease:
+		return "lock"
+	case KindLAPNotice, KindLAPPredict, KindLAPHit, KindLAPMiss, KindLAPPush, KindUpdatePush:
+		return "lap"
+	case KindPageFault, KindPageFetch, KindInvalidate:
+		return "fault"
+	case KindTwinCreate, KindDiffCreate, KindDiffApply, KindDiffMerge, KindWriteNotice:
+		return "diff"
+	case KindBarrierArrive, KindBarrierDepart:
+		return "barrier"
+	case KindMsgSend, KindMsgDeliver, KindNetTransfer:
+		return "msg"
+	}
+	return "other"
+}
+
+// Event is one protocol event. Cycle is the emitting node's virtual time
+// in processor cycles (10ns in the paper's Table 1); Proc is the node the
+// event happened on. Lock and Page are -1 when not applicable; Arg/Arg2
+// carry kind-specific payloads documented on each Kind. Note is an
+// optional human-readable annotation (update sets, run identification).
+type Event struct {
+	Cycle uint64
+	Proc  int
+	Kind  Kind
+	Lock  int
+	Page  int
+	Arg   int64
+	Arg2  int64
+	Note  string
+}
+
+// Ev returns an event with Lock and Page marked not-applicable; callers
+// fill in the fields their kind defines.
+func Ev(cycle uint64, proc int, kind Kind) Event {
+	return Event{Cycle: cycle, Proc: proc, Kind: kind, Lock: -1, Page: -1}
+}
+
+// Tracer consumes protocol events. Implementations must not assume events
+// arrive sorted by Cycle: the stream follows execution order, and service
+// handlers stamp their (earlier) service time. They may assume single-
+// threaded delivery: the simulator guarantees at most one emitter runs at
+// any instant.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Multi fans events out to several sinks; nil members are skipped.
+func Multi(sinks ...Tracer) Tracer {
+	var live []Tracer
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Tracer
+
+func (m multi) Trace(ev Event) {
+	for _, s := range m {
+		s.Trace(ev)
+	}
+}

@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mkEvents(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		ev := Ev(uint64(100*i), i%4, KindLockGrant)
+		ev.Lock = i % 3
+		ev.Arg = int64(i)
+		out[i] = ev
+	}
+	return out
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name (got %q)", k, s)
+		}
+		if c := k.Category(); c == "" {
+			t.Errorf("kind %v has no category", k)
+		}
+	}
+	if got := Kind(200).String(); got != "unknown" {
+		t.Errorf("out-of-range kind string = %q, want \"unknown\"", got)
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	evs := mkEvents(5)
+	for _, ev := range evs {
+		r.Trace(ev)
+	}
+	if r.Total() != 5 || r.Len() != 5 {
+		t.Fatalf("total=%d len=%d, want 5/5", r.Total(), r.Len())
+	}
+	got := r.Events()
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	evs := mkEvents(11)
+	for _, ev := range evs {
+		r.Trace(ev)
+	}
+	if r.Total() != 11 {
+		t.Fatalf("total = %d, want 11", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	got := r.Events()
+	// The newest 4 events, oldest first.
+	want := evs[7:]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after wrap, event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	r.Reset()
+	if r.Total() != 0 || r.Len() != 0 {
+		t.Fatalf("after reset: total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	for _, ev := range mkEvents(3) {
+		r.Trace(ev)
+	}
+	if r.Len() != 1 || r.Total() != 3 {
+		t.Fatalf("len=%d total=%d, want 1/3", r.Len(), r.Total())
+	}
+	if r.Events()[0].Arg != 2 {
+		t.Fatalf("retained event = %+v, want the newest", r.Events()[0])
+	}
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+
+	ev := Ev(12345, 3, KindLockGrant)
+	ev.Lock = 2
+	ev.Arg, ev.Arg2 = 5, 7
+	j.Trace(ev)
+
+	ev2 := Ev(0, 0, KindLAPPredict)
+	ev2.Lock = 1
+	ev2.Arg = 4
+	ev2.Note = `us [4 9]`
+	j.Trace(ev2)
+
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"c":12345,"p":3,"k":"lock-grant","l":2,"pg":-1,"a":5,"b":7}
+{"c":0,"p":0,"k":"lap-predict","l":1,"pg":-1,"a":4,"b":0,"n":"us [4 9]"}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:  %q\nwant: %q", got, want)
+	}
+	// Every line must be valid JSON on its own.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line is not valid JSON: %s", line)
+		}
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		j := NewJSONL(&buf)
+		for _, ev := range mkEvents(100) {
+			j.Trace(ev)
+		}
+		j.Close()
+		return buf.String()
+	}
+	if emit() != emit() {
+		t.Fatal("identical event streams encoded differently")
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+
+	grant := Ev(100, 1, KindLockGrant)
+	grant.Lock = 0
+	c.Trace(grant)
+	rel := Ev(350, 1, KindLockRelease)
+	rel.Lock = 0
+	c.Trace(rel)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	got := buf.String()
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, got)
+	}
+	// 2 thread metadata + 1 lock-hold span + 2 instants.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events, want 5:\n%s", len(doc.TraceEvents), got)
+	}
+	var span *struct {
+		Ph   string  `json:"ph"`
+		Name string  `json:"name"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	}
+	for i := range doc.TraceEvents {
+		if doc.TraceEvents[i].Ph == "X" {
+			span = &doc.TraceEvents[i]
+		}
+	}
+	if span == nil {
+		t.Fatalf("no X span emitted:\n%s", got)
+	}
+	// 100 cycles = 1.00 us; 250 cycles = 2.50 us.
+	if span.Name != "hold lock 0" || span.Ts != 1.0 || span.Dur != 2.5 || span.Tid != 1 {
+		t.Fatalf("span = %+v, want hold lock 0 ts=1 dur=2.5 tid=1", *span)
+	}
+}
+
+func TestChromeBarrierSpanAndNote(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	arr := Ev(1000, 2, KindBarrierArrive)
+	arr.Arg = 3
+	c.Trace(arr)
+	pred := Ev(1100, 2, KindLAPPredict)
+	pred.Note = `quote " and backslash \`
+	c.Trace(pred)
+	dep := Ev(1200, 2, KindBarrierDepart)
+	dep.Arg = 3
+	c.Trace(dep)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("chrome output with note is not valid JSON:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"name":"barrier 3","cat":"barrier","ph":"X"`) {
+		t.Fatalf("no barrier span:\n%s", buf.String())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := NewMetrics()
+
+	req := Ev(100, 1, KindLockRequest)
+	req.Lock = 0
+	m.Trace(req)
+	grant := Ev(300, 1, KindLockGrant)
+	grant.Lock = 0
+	m.Trace(grant)
+	rel := Ev(1000, 1, KindLockRelease)
+	rel.Lock = 0
+	m.Trace(rel)
+
+	hit := Ev(1200, 0, KindLAPHit)
+	hit.Lock = 0
+	m.Trace(hit)
+	miss := Ev(1300, 0, KindLAPMiss)
+	miss.Lock = 0
+	m.Trace(miss)
+	for i := 0; i < 2; i++ {
+		hit.Cycle += 10
+		m.Trace(hit)
+	}
+
+	push := Ev(1400, 1, KindLAPPush)
+	push.Lock = 0
+	push.Arg, push.Arg2 = 2, 4096
+	m.Trace(push)
+
+	fault := Ev(2000, 2, KindPageFault)
+	fault.Page = 7
+	fault.Arg = 1
+	m.Trace(fault)
+	dc := Ev(2100, 2, KindDiffCreate)
+	dc.Page = 7
+	dc.Arg = 512
+	m.Trace(dc)
+
+	s := m.Summary()
+	if s.Events != 10 {
+		t.Fatalf("events = %d, want 10", s.Events)
+	}
+	if len(s.Locks) != 1 || len(s.Pages) != 1 || s.ActivePages != 1 {
+		t.Fatalf("locks=%d pages=%d", len(s.Locks), len(s.Pages))
+	}
+	l := s.Locks[0]
+	if l.Acquires != 1 || l.PredHits != 3 || l.PredMiss != 1 {
+		t.Fatalf("lock summary = %+v", l)
+	}
+	if l.Accuracy != 75 {
+		t.Fatalf("accuracy = %v, want 75", l.Accuracy)
+	}
+	if l.WaitCy.Count != 1 || l.WaitCy.Sum != 200 {
+		t.Fatalf("wait histogram = %+v", l.WaitCy)
+	}
+	if l.HoldCy.Count != 1 || l.HoldCy.Sum != 700 {
+		t.Fatalf("hold histogram = %+v", l.HoldCy)
+	}
+	if l.Pushes != 1 || l.PushBytes != 4096 {
+		t.Fatalf("pushes = %d/%d", l.Pushes, l.PushBytes)
+	}
+	p := s.Pages[0]
+	if p.Page != 7 || p.Faults != 1 || p.WriteFaults != 1 || p.DiffsMade != 1 || p.DiffBytes != 512 {
+		t.Fatalf("page summary = %+v", p)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("metrics JSON invalid")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count != 7 || h.Min != 0 || h.Max != 1024 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	// 0,1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2; 1023 -> 9; 1024 -> 10.
+	if h.Buckets[0] != 2 || h.Buckets[1] != 2 || h.Buckets[2] != 1 ||
+		h.Buckets[9] != 1 || h.Buckets[10] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should collapse to nil")
+	}
+	a, b := NewRing(4), NewRing(4)
+	if Multi(a) != Tracer(a) {
+		t.Fatal("single-sink Multi should return the sink itself")
+	}
+	m := Multi(a, nil, b)
+	m.Trace(Ev(1, 0, KindRunStart))
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("fan-out missed a sink: %d/%d", a.Total(), b.Total())
+	}
+}
