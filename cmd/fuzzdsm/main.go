@@ -1,0 +1,93 @@
+// Command fuzzdsm is the differential protocol fuzzer: it generates
+// seedable randomized lock-disciplined workloads, runs each one under
+// AEC, TreadMarks, Munin and the ideal shared-memory protocol with the
+// runtime invariant auditor attached, and fails loudly if any protocol
+// deadlocks, diverges from the others, or violates an invariant.
+//
+// Usage:
+//
+//	fuzzdsm                          # 25 iterations from seed 1
+//	fuzzdsm -iters 500 -seed 1000    # long run, fresh seed range
+//	fuzzdsm -seed 42 -iters 1        # reproduce one failure exactly
+//	fuzzdsm -procs 4                 # force the processor count
+//	fuzzdsm -protocols AEC,TM-LH     # choose the comparison set
+//
+// Every failure is shrunk by seed replay and printed with the exact
+// one-line command that reproduces it. See docs/TESTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aecdsm/internal/check"
+	"aecdsm/internal/harness"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "first workload seed")
+		iters     = flag.Int("iters", 25, "number of seeded workloads to run")
+		procs     = flag.Int("procs", 0, "force processor count (0 = derive 2-16 from seed)")
+		protocols = flag.String("protocols", "AEC,TM,Munin,ideal",
+			"comma-separated protocols to compare (AEC, AEC-noLAP, TM, TM-LH, Munin, Munin+LAP, ideal)")
+		verbose = flag.Bool("v", false, "print every workload verdict, not just failures")
+	)
+	flag.Parse()
+
+	kinds, err := parseProtocols(*protocols)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzdsm:", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for i := 0; i < *iters; i++ {
+		s := *seed + uint64(i)
+		rep := check.RunSeed(s, *procs, kinds)
+		if rep.Failed() {
+			failures++
+			fmt.Printf("seed %d: FAIL\n%s", s, rep)
+			small, spent := check.Shrink(rep.Workload, kinds, 64)
+			if small.Workload != rep.Workload {
+				fmt.Printf("shrunk after %d replays:\n%s", spent, small)
+			}
+		} else if *verbose {
+			fmt.Printf("seed %d: ok\n%s", s, rep)
+		} else {
+			w := rep.Workload
+			fmt.Printf("seed %d: ok (procs=%d locks=%d phases=%d ops=%d final=%016x)\n",
+				s, w.Procs, w.Cfg.Locks, w.Cfg.Phases, w.Cfg.OpsPerPhase, rep.Runs[0].Final)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("fuzzdsm: %d of %d workloads failed\n", failures, *iters)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzzdsm: %d workloads, %d protocols each, all agree\n", *iters, len(kinds))
+}
+
+func parseProtocols(list string) ([]harness.ProtocolKind, error) {
+	known := map[string]harness.ProtocolKind{}
+	for _, k := range check.AllProtocols() {
+		known[strings.ToLower(string(k))] = k
+	}
+	var kinds []harness.ProtocolKind
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := known[strings.ToLower(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q (known: %v)", name, check.AllProtocols())
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no protocols selected")
+	}
+	return kinds, nil
+}

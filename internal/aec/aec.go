@@ -178,6 +178,15 @@ var (
 	DebugLocks = false
 )
 
+// MutateDiffApply, when true, makes diff application intentionally buggy:
+// the last run of every applied diff is silently skipped (stale memory)
+// and the diff-apply event is emitted twice. It exists solely so
+// internal/check's mutation tests can prove that the differential runner
+// (wrong application results) and the invariant auditor (duplicate apply
+// of one diff) both catch a real diff-application bug. Never enable it
+// outside tests.
+var MutateDiffApply = false
+
 func (pr *AEC) lockf(format string, args ...any) {
 	if DebugLocks {
 		fmt.Printf("[aec t%d] "+format+"\n", append([]any{pr.e.Now()}, args...)...)
@@ -257,6 +266,7 @@ func (pr *AEC) chargeDiffCreate(c *proto.Ctx, d *mem.Diff, cat stats.Category, h
 		if pr.e.Tracer != nil {
 			ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffCreate)
 			ev.Page = d.Page
+			ev.Ref = d.ID
 			ev.Arg = int64(d.EncodedBytes())
 			if hidden {
 				ev.Arg2 = 1
@@ -284,11 +294,15 @@ func (pr *AEC) chargeDiffApply(c *proto.Ctx, d *mem.Diff, cat stats.Category, hi
 	if pr.e.Tracer != nil {
 		ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffApply)
 		ev.Page = d.Page
+		ev.Ref = d.ID
 		ev.Arg = int64(d.DataBytes())
 		if hidden {
 			ev.Arg2 = 1
 		}
 		pr.e.Tracer.Trace(ev)
+		if MutateDiffApply {
+			pr.e.Tracer.Trace(ev)
+		}
 	}
 	c.P.Advance(cost, cat)
 }
@@ -298,7 +312,13 @@ func (pr *AEC) chargeDiffApply(c *proto.Ctx, d *mem.Diff, cat stats.Category, hi
 func (pr *AEC) applyDiffData(c *proto.Ctx, d *mem.Diff) {
 	pr.debugf(c.ID, d.Page, "applyDiffData runs=%d bytes=%d covers8=%v", len(d.Runs), d.DataBytes(), d.Covers(8))
 	f := c.M.Frame(d.Page)
-	d.Apply(f.Data)
+	if MutateDiffApply && len(d.Runs) > 0 {
+		for _, r := range d.Runs[:len(d.Runs)-1] {
+			copy(f.Data[r.Off:r.Off+len(r.Data)], r.Data)
+		}
+	} else {
+		d.Apply(f.Data)
+	}
 	base := pr.s.PageBase(d.Page)
 	for _, r := range d.Runs {
 		c.P.Cache.InvalidateRange(base+r.Off, len(r.Data))

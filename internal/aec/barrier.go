@@ -388,6 +388,7 @@ func (pr *AEC) handleBarDiff(s *sim.Svc, m *sim.Msg) {
 		if pr.e.Tracer != nil {
 			ev := trace.Ev(s.Now, m.To, trace.KindDiffApply)
 			ev.Page = bd.page
+			ev.Ref = bd.diff.ID
 			ev.Arg, ev.Arg2 = int64(bd.diff.DataBytes()), 1
 			pr.e.Tracer.Trace(ev)
 		}

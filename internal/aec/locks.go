@@ -309,6 +309,7 @@ func (pr *AEC) Release(c *proto.Ctx, lock int) {
 				if pr.e.Tracer != nil {
 					ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffMerge)
 					ev.Page = pg
+					ev.Ref = m.ID
 					ev.Arg = int64(m.EncodedBytes())
 					pr.e.Tracer.Trace(ev)
 				}

@@ -42,6 +42,36 @@ func (r *Rand) Intn(n int) int {
 	return int(r.Next() % uint64(n))
 }
 
+// baseSeed is the process-wide root that every application RNG stream
+// derives from. Zero (the default) leaves each stream on its historical
+// per-app constant, keeping checked-in full-scale results valid; a
+// non-zero base perturbs all streams deterministically (determinism tests
+// and fuzzing vary it instead of touching per-app code).
+var baseSeed uint64
+
+// SetBaseSeed overrides the root seed for all application RNG streams and
+// returns the previous value so tests can restore it.
+func SetBaseSeed(s uint64) uint64 {
+	prev := baseSeed
+	baseSeed = s
+	return prev
+}
+
+// StreamRand is the single seedable source behind every application's
+// randomness: it derives a generator for one named stream (the app's
+// historical seed constant) from the process base seed.
+func StreamRand(stream uint64) *Rand {
+	if baseSeed == 0 {
+		return NewRand(stream)
+	}
+	// splitmix64 finalizer over the combined seeds: decorrelates streams
+	// even for adjacent base values.
+	z := stream ^ (baseSeed + 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return NewRand(z ^ (z >> 31))
+}
+
 // Float64 returns a value in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Next()>>11) / float64(1<<53)

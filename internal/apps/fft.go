@@ -52,7 +52,7 @@ func (a *FFT) Err() error { return a.v.Err() }
 // Init implements proto.Program.
 func (a *FFT) Init(s *mem.Space, nprocs int) {
 	n := a.N
-	rng := NewRand(777)
+	rng := StreamRand(777)
 	a.input = make([]complex128, n*n)
 	for i := range a.input {
 		a.input[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)

@@ -51,7 +51,7 @@ func (a *IS) Err() error { return a.v.Err() }
 // Init implements proto.Program.
 func (a *IS) Init(s *mem.Space, nprocs int) {
 	a.procs = nprocs
-	rng := NewRand(12345)
+	rng := StreamRand(12345)
 	a.keys = make([]int32, a.Keys)
 	for i := range a.keys {
 		a.keys[i] = int32(rng.Intn(a.MaxKey))

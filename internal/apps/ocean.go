@@ -69,7 +69,7 @@ func (a *Ocean) dim() int { return a.N + 2 }
 // Init implements proto.Program.
 func (a *Ocean) Init(s *mem.Space, nprocs int) {
 	d := a.dim()
-	rng := NewRand(4242)
+	rng := StreamRand(4242)
 	a.init = make([]float64, d*d)
 	for i := range a.init {
 		a.init[i] = rng.Float64()

@@ -74,7 +74,7 @@ func (a *Raytrace) tiles() int  { return a.tilesX() * a.tilesY() }
 // Init implements proto.Program.
 func (a *Raytrace) Init(s *mem.Space, nprocs int) {
 	a.procs = nprocs
-	rng := NewRand(31337)
+	rng := StreamRand(31337)
 	a.scene = make([]sphere, 24)
 	for i := range a.scene {
 		a.scene[i] = sphere{

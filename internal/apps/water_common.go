@@ -42,7 +42,7 @@ func newWaterParams(scale float64) waterParams {
 // initialPositions lays the molecules on a deterministically perturbed
 // lattice.
 func (w waterParams) initialPositions() []vec3 {
-	rng := NewRand(99991)
+	rng := StreamRand(99991)
 	pos := make([]vec3, w.mols)
 	i := 0
 	for x := 0; x < w.side; x++ {

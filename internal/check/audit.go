@@ -1,0 +1,230 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aecdsm/internal/trace"
+)
+
+// Auditor is a trace.Tracer that checks runtime protocol invariants over
+// the event stream of one run. It models only what the events guarantee
+// on every protocol, so the same auditor attaches unchanged to AEC,
+// TreadMarks, Munin and the ideal protocol (which emits nothing and
+// trivially passes).
+//
+// Invariants checked:
+//
+//  1. Mutual exclusion (single writer per lock interval): a lock is
+//     granted only while free, and released only by its holder.
+//  2. Lock-queue FIFO: a processor in the manager's waiting queue (built
+//     from lock-enqueue events) is only granted the lock from the head
+//     of that queue. A grant to a processor that never enqueued can race
+//     ahead of later enqueues (the grant message is in flight while the
+//     manager keeps serving requests), so only queued processors are
+//     held to FIFO order.
+//  3. Virtual-queue / prediction consistency: a predicted update set
+//     never contains the holder it was computed for, names only real
+//     processors, and lap-hit / lap-miss verdicts agree with the most
+//     recently recorded prediction for the lock.
+//  4. Twin/diff lifecycle legality: a diff is only created by a
+//     processor with an outstanding twin of the page, which the creation
+//     consumes (TreadMarks banks twins in interval records and diffs
+//     them lazily, so several twins of one page can be outstanding).
+//  5. No diff applied twice: within one apply episode (a maximal
+//     consecutive run of diff-apply events at a processor — any other
+//     event at that processor closes the episode), the same diff
+//     identity is never applied twice.
+//  6. Barrier phasing: a processor departs its n-th barrier only after
+//     every processor has arrived at it.
+type Auditor struct {
+	nprocs     int
+	violations []string
+
+	holder      map[int]int             // lock -> holder, -1 when free
+	queue       map[int][]int           // lock -> modeled manager waiting queue
+	lastPredict map[int][]int           // lock -> last predicted update set
+	openTwins   map[[2]int]int          // (proc, page) -> outstanding twins
+	applied     map[int]map[uint64]bool // proc -> refs applied this episode
+	arrives     []int
+	departs     []int
+}
+
+// maxViolations caps the report; a broken protocol can violate thousands
+// of times and the first few are what matter.
+const maxViolations = 20
+
+// NewAuditor builds an auditor for a run with nprocs processors.
+func NewAuditor(nprocs int) *Auditor {
+	return &Auditor{
+		nprocs:      nprocs,
+		holder:      map[int]int{},
+		queue:       map[int][]int{},
+		lastPredict: map[int][]int{},
+		openTwins:   map[[2]int]int{},
+		applied:     map[int]map[uint64]bool{},
+		arrives:     make([]int, nprocs),
+		departs:     make([]int, nprocs),
+	}
+}
+
+// Violations returns the recorded invariant violations, oldest first.
+func (a *Auditor) Violations() []string {
+	return append([]string(nil), a.violations...)
+}
+
+func (a *Auditor) failf(format string, args ...any) {
+	if len(a.violations) < maxViolations {
+		a.violations = append(a.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Trace implements trace.Tracer.
+func (a *Auditor) Trace(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindLockEnqueue:
+		a.queue[ev.Lock] = append(a.queue[ev.Lock], int(ev.Arg))
+
+	case trace.KindLockGrant:
+		if h, ok := a.holder[ev.Lock]; ok && h >= 0 {
+			a.failf("t%d: lock %d granted to proc %d while held by proc %d",
+				ev.Cycle, ev.Lock, ev.Proc, h)
+		}
+		a.holder[ev.Lock] = ev.Proc
+		if q := a.queue[ev.Lock]; len(q) > 0 && containsInt(q, ev.Proc) {
+			if q[0] == ev.Proc {
+				a.queue[ev.Lock] = q[1:]
+			} else {
+				a.failf("t%d: lock %d granted to queued proc %d ahead of queue head proc %d (queue %v)",
+					ev.Cycle, ev.Lock, ev.Proc, q[0], q)
+				a.queue[ev.Lock] = removeInt(q, ev.Proc)
+			}
+		}
+
+	case trace.KindLockRelease:
+		if h, ok := a.holder[ev.Lock]; ok && h != ev.Proc {
+			a.failf("t%d: lock %d released by proc %d, holder is %d",
+				ev.Cycle, ev.Lock, ev.Proc, h)
+		}
+		a.holder[ev.Lock] = -1
+
+	case trace.KindLAPPredict:
+		set := parseIntSet(ev.Note)
+		holder := int(ev.Arg)
+		for _, q := range set {
+			if q == holder {
+				a.failf("t%d: lock %d update set %v contains its own holder proc %d",
+					ev.Cycle, ev.Lock, set, holder)
+			}
+			if q < 0 || q >= a.nprocs {
+				a.failf("t%d: lock %d update set %v names unknown proc %d",
+					ev.Cycle, ev.Lock, set, q)
+			}
+		}
+		a.lastPredict[ev.Lock] = set
+
+	case trace.KindLAPHit:
+		to, prev := int(ev.Arg), int(ev.Arg2)
+		if to != prev && !containsInt(a.lastPredict[ev.Lock], to) {
+			a.failf("t%d: lock %d lap-hit for proc %d but prediction was %v (prev holder %d)",
+				ev.Cycle, ev.Lock, to, a.lastPredict[ev.Lock], prev)
+		}
+
+	case trace.KindLAPMiss:
+		to, prev := int(ev.Arg), int(ev.Arg2)
+		if to == prev || containsInt(a.lastPredict[ev.Lock], to) {
+			a.failf("t%d: lock %d lap-miss for proc %d but prediction %v covers it (prev holder %d)",
+				ev.Cycle, ev.Lock, to, a.lastPredict[ev.Lock], prev)
+		}
+
+	case trace.KindTwinCreate:
+		a.openTwins[[2]int{ev.Proc, ev.Page}]++
+
+	case trace.KindDiffCreate:
+		key := [2]int{ev.Proc, ev.Page}
+		if a.openTwins[key] <= 0 {
+			a.failf("t%d: proc %d created a diff of page %d without an outstanding twin",
+				ev.Cycle, ev.Proc, ev.Page)
+		} else {
+			a.openTwins[key]--
+		}
+
+	case trace.KindDiffApply:
+		if ev.Ref != 0 {
+			set := a.applied[ev.Proc]
+			if set == nil {
+				set = map[uint64]bool{}
+				a.applied[ev.Proc] = set
+			}
+			if set[ev.Ref] {
+				a.failf("t%d: proc %d applied diff #%d (page %d) twice in one episode",
+					ev.Cycle, ev.Proc, ev.Ref, ev.Page)
+			}
+			set[ev.Ref] = true
+		}
+
+	case trace.KindBarrierArrive:
+		if ev.Proc >= 0 && ev.Proc < a.nprocs {
+			a.arrives[ev.Proc]++
+		}
+
+	case trace.KindBarrierDepart:
+		if ev.Proc >= 0 && ev.Proc < a.nprocs {
+			a.departs[ev.Proc]++
+			n := a.departs[ev.Proc]
+			for q := 0; q < a.nprocs; q++ {
+				if a.arrives[q] < n {
+					a.failf("t%d: proc %d departed barrier %d before proc %d arrived (%d arrivals)",
+						ev.Cycle, ev.Proc, n, q, a.arrives[q])
+				}
+			}
+		}
+	}
+	// Any non-apply event at a processor ends its apply episode: protocols
+	// may legitimately re-apply an inherited diff across separate grants,
+	// but between those applies the processor always observes other
+	// events (message delivery at the very least).
+	if ev.Kind != trace.KindDiffApply {
+		delete(a.applied, ev.Proc)
+	}
+}
+
+// parseIntSet parses the "[3 7]"-style update-set annotation of a
+// lap-predict event.
+func parseIntSet(note string) []int {
+	note = strings.Trim(note, "[]")
+	if note == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Fields(note) {
+		if v, err := strconv.Atoi(f); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// removeInt returns s without the first occurrence of v.
+func removeInt(s []int, v int) []int {
+	out := make([]int, 0, len(s))
+	removed := false
+	for _, x := range s {
+		if !removed && x == v {
+			removed = true
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"aecdsm/internal/apps"
+	"aecdsm/internal/harness"
+)
+
+// ProtocolRun is the outcome of one workload under one protocol.
+type ProtocolRun struct {
+	Kind       harness.ProtocolKind
+	Deadlocked bool
+	VerifyErr  error
+	Final      uint64   // checksum of all shared state after the last phase
+	Phases     []uint64 // checksum at every barrier phase
+	Violations []string // invariant-auditor findings
+}
+
+// Report is the differential verdict for one workload across protocols.
+type Report struct {
+	Workload Workload
+	Runs     []ProtocolRun
+	// Failures lists everything wrong: per-run deadlocks, verification
+	// errors and invariant violations, plus cross-protocol disagreements.
+	// Empty means every protocol agreed and every invariant held.
+	Failures []string
+}
+
+// Failed reports whether anything went wrong.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// String renders the verdict with the reproduction command.
+func (r *Report) String() string {
+	var b strings.Builder
+	w := r.Workload
+	fmt.Fprintf(&b, "workload seed=%d procs=%d pagesize=%d locks=%d cells=%d phases=%d ops=%d pad=%d notices=%v\n",
+		w.Seed, w.Procs, w.PageSize, w.Cfg.Locks, w.Cfg.CellsPerLock,
+		w.Cfg.Phases, w.Cfg.OpsPerPhase, w.Cfg.PadWords, w.Cfg.Notices)
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "  %-10s final=%016x deadlock=%v verify=%v violations=%d\n",
+			run.Kind, run.Final, run.Deadlocked, run.VerifyErr, len(run.Violations))
+	}
+	if r.Failed() {
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "  FAIL: %s\n", f)
+		}
+		fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d\n", w.Seed, w.Procs)
+	}
+	return b.String()
+}
+
+// DefaultProtocols is the four-way comparison set of the differential
+// checker: the paper's protocol, both alternative DSM protocols, and the
+// ideal shared-memory baseline as ground truth.
+func DefaultProtocols() []harness.ProtocolKind {
+	return []harness.ProtocolKind{
+		harness.ProtoAEC, harness.ProtoTM, harness.ProtoMunin, harness.ProtoIdeal,
+	}
+}
+
+// AllProtocols additionally covers the protocol variants (AEC without
+// LAP, the TreadMarks Lazy Hybrid, Munin with LAP-restricted updates).
+func AllProtocols() []harness.ProtocolKind {
+	return []harness.ProtocolKind{
+		harness.ProtoAEC, harness.ProtoAECNoLAP, harness.ProtoTM,
+		harness.ProtoTMLH, harness.ProtoMunin, harness.ProtoMuninLAP,
+		harness.ProtoIdeal,
+	}
+}
+
+// RunWorkload executes one workload under every protocol kind with the
+// invariant auditor attached, then cross-checks the runs: no deadlocks,
+// no verification failures, no invariant violations, and bit-identical
+// checksums of all shared state at every barrier phase.
+func RunWorkload(w Workload, kinds []harness.ProtocolKind) *Report {
+	rep := &Report{Workload: w}
+	for _, k := range kinds {
+		prog := apps.NewSynth(w.Cfg)
+		aud := NewAuditor(w.Procs)
+		res := harness.RunTraced(w.Params(), harness.NewProtocol(k, 2), prog, aud)
+		run := ProtocolRun{
+			Kind:       k,
+			Deadlocked: res.Deadlocked,
+			VerifyErr:  res.VerifyErr,
+			Final:      prog.FinalChecksum(),
+			Phases:     prog.PhaseChecksums(),
+			Violations: aud.Violations(),
+		}
+		rep.Runs = append(rep.Runs, run)
+		if run.Deadlocked {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: deadlocked", k))
+		}
+		if run.VerifyErr != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: verification failed: %v", k, run.VerifyErr))
+		}
+		for _, v := range run.Violations {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: invariant violated: %s", k, v))
+		}
+	}
+	// Cross-protocol equivalence against the first run.
+	if len(rep.Runs) > 1 {
+		ref := rep.Runs[0]
+		for _, run := range rep.Runs[1:] {
+			if run.Final != ref.Final {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"final checksum mismatch: %s=%016x vs %s=%016x",
+					ref.Kind, ref.Final, run.Kind, run.Final))
+			}
+			if len(run.Phases) != len(ref.Phases) {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"phase count mismatch: %s=%d vs %s=%d",
+					ref.Kind, len(ref.Phases), run.Kind, len(run.Phases)))
+				continue
+			}
+			for p := range ref.Phases {
+				if run.Phases[p] != ref.Phases[p] {
+					rep.Failures = append(rep.Failures, fmt.Sprintf(
+						"phase %d checksum mismatch: %s=%016x vs %s=%016x",
+						p, ref.Kind, ref.Phases[p], run.Kind, run.Phases[p]))
+					break
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// RunSeed generates and runs the workload for one seed. procs forces the
+// processor count when > 0.
+func RunSeed(seed uint64, procs int, kinds []harness.ProtocolKind) *Report {
+	return RunWorkload(Generate(seed, procs), kinds)
+}
+
+// Shrink replays reduced variants of a failing workload — same seed,
+// smaller shape — and returns the smallest variant that still fails
+// together with the number of replays spent. Shrinking by seed replay
+// keeps every repro a one-liner: the minimal workload is still fully
+// described by (seed, overridden shape).
+func Shrink(w Workload, kinds []harness.ProtocolKind, budget int) (*Report, int) {
+	best := RunWorkload(w, kinds)
+	spent := 1
+	if !best.Failed() {
+		return best, spent
+	}
+	for spent < budget {
+		improved := false
+		for _, cand := range reductions(best.Workload) {
+			if spent >= budget {
+				break
+			}
+			rep := RunWorkload(cand, kinds)
+			spent++
+			if rep.Failed() {
+				best = rep
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, spent
+}
+
+// reductions proposes strictly smaller variants of a workload, most
+// aggressive first.
+func reductions(w Workload) []Workload {
+	var out []Workload
+	add := func(mod func(*Workload)) {
+		c := w
+		mod(&c)
+		if c != w {
+			out = append(out, c)
+		}
+	}
+	add(func(c *Workload) { c.Procs = max2(c.Procs / 2) })
+	add(func(c *Workload) { c.Cfg.Phases = max1(c.Cfg.Phases / 2) })
+	add(func(c *Workload) { c.Cfg.OpsPerPhase = max1(c.Cfg.OpsPerPhase / 2) })
+	add(func(c *Workload) { c.Cfg.Locks = max1(c.Cfg.Locks / 2) })
+	add(func(c *Workload) { c.Cfg.CellsPerLock = max2(c.Cfg.CellsPerLock / 2) })
+	add(func(c *Workload) { c.Cfg.PadWords = 0 })
+	add(func(c *Workload) { c.Cfg.Notices = false })
+	return out
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func max2(v int) int {
+	if v < 2 {
+		return 2
+	}
+	return v
+}

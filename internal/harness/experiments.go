@@ -77,6 +77,13 @@ func NewExperiments(scale float64) *Experiments {
 }
 
 func (e *Experiments) protocol(kind ProtocolKind, ns int) proto.Protocol {
+	return NewProtocol(kind, ns)
+}
+
+// NewProtocol builds a fresh protocol instance of the given kind with
+// update-set size ns (where applicable). Each run needs its own instance;
+// protocols keep per-run state.
+func NewProtocol(kind ProtocolKind, ns int) proto.Protocol {
 	switch kind {
 	case ProtoAEC:
 		return aec.New(aec.Options{UseLAP: true, Ns: ns})

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_short.txt from the current code")
+
+const goldenScale = 0.1
+
+// TestGoldenKeyStats diffs the short-mode key statistics against the
+// checked-in snapshot. The snapshot pins every application's cycle count
+// and synchronization/diff totals under AEC and TreadMarks at scale 0.1,
+// so an accidental behaviour change in any protocol or application fails
+// this test byte-for-byte. Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestGoldenKeyStats -update-golden
+func TestGoldenKeyStats(t *testing.T) {
+	var buf bytes.Buffer
+	NewExperiments(goldenScale).KeyStats(&buf)
+
+	path := filepath.Join("testdata", "golden_short.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("key statistics diverged from golden snapshot:\n%s",
+			diffLines(string(want), buf.String()))
+	}
+}
+
+// TestTable1MatchesFullScaleResults byte-compares the rendered Table 1
+// against the Table 1 section of the checked-in full-scale results, tying
+// the test suite to the published artifact. Table 1 is pure system
+// parameters, so it is scale-independent.
+func TestTable1MatchesFullScaleResults(t *testing.T) {
+	full, err := os.ReadFile(filepath.Join("..", "..", "results", "tables_full_scale.txt"))
+	if err != nil {
+		t.Skipf("full-scale results not available: %v", err)
+	}
+	txt := string(full)
+	cut := strings.Index(txt, "----")
+	if cut < 0 {
+		t.Fatal("results file has no section separator")
+	}
+	want := txt[:cut]
+
+	var buf bytes.Buffer
+	NewExperiments(goldenScale).Table1(&buf)
+	if buf.String() != want {
+		t.Errorf("Table 1 diverged from results/tables_full_scale.txt:\n%s",
+			diffLines(want, buf.String()))
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			b.WriteString("- " + lw + "\n+ " + lg + "\n")
+		}
+	}
+	return b.String()
+}

@@ -127,7 +127,15 @@ func (p *Predictor) SetAffinityFactor(f float64) {
 func (p *Predictor) Ns() int { return p.ns }
 
 // Enqueue appends a processor to the waiting queue (lock busy at request).
-func (p *Predictor) Enqueue(proc int) { p.waitQ = append(p.waitQ, proc) }
+func (p *Predictor) Enqueue(proc int) {
+	if p.Tracer != nil {
+		ev := trace.Ev(p.now(), p.Mgr, trace.KindLockEnqueue)
+		ev.Lock = p.Lock
+		ev.Arg = int64(proc)
+		p.Tracer.Trace(ev)
+	}
+	p.waitQ = append(p.waitQ, proc)
+}
 
 // Dequeue pops the head of the waiting queue, or -1 if empty.
 func (p *Predictor) Dequeue() int {

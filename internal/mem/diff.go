@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // DiffRun is one contiguous range of modified bytes within a page.
 type DiffRun struct {
@@ -14,7 +17,20 @@ type DiffRun struct {
 type Diff struct {
 	Page int
 	Runs []DiffRun
+	// ID is a process-local identity assigned at creation, letting the
+	// tracing/auditing layer recognize the same diff across protocol
+	// events (e.g. to detect a diff applied twice). It is not part of the
+	// simulated wire format and not reproducible across runs.
+	ID uint64
 }
+
+// diffIDs hands out process-unique diff identities. Atomic because
+// simulated processors run on separate goroutines (serialized by the
+// engine, but the race detector cannot know that across runs in parallel
+// tests).
+var diffIDs atomic.Uint64
+
+func nextDiffID() uint64 { return diffIDs.Add(1) }
 
 // runHeaderBytes is the encoded size of a run header (offset + length).
 const runHeaderBytes = 8
@@ -51,7 +67,7 @@ func MakeDiff(page int, twin, cur []byte, wordBytes int) *Diff {
 			i += w
 		}
 		if d == nil {
-			d = &Diff{Page: page}
+			d = &Diff{Page: page, ID: nextDiffID()}
 		}
 		run := DiffRun{Off: start, Data: make([]byte, i-start)}
 		copy(run.Data, cur[start:i])
@@ -91,9 +107,9 @@ func (d *Diff) Covers(off int) bool {
 	return false
 }
 
-// Clone returns a deep copy of the diff.
+// Clone returns a deep copy of the diff (with a fresh identity).
 func (d *Diff) Clone() *Diff {
-	c := &Diff{Page: d.Page, Runs: make([]DiffRun, len(d.Runs))}
+	c := &Diff{Page: d.Page, ID: nextDiffID(), Runs: make([]DiffRun, len(d.Runs))}
 	for i, r := range d.Runs {
 		c.Runs[i] = DiffRun{Off: r.Off, Data: append([]byte(nil), r.Data...)}
 	}
@@ -129,7 +145,7 @@ func MergeDiffs(pageSize int, diffs ...*Diff) *Diff {
 	if !any {
 		return nil
 	}
-	out := &Diff{Page: page}
+	out := &Diff{Page: page, ID: nextDiffID()}
 	i := 0
 	for i < pageSize {
 		if !present[i] {

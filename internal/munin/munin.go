@@ -465,6 +465,13 @@ func (pr *Munin) flush(c *proto.Ctx, st *procState, us []int, restrict bool) {
 		}
 		c.P.Stats.DiffsCreated++
 		c.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffCreate)
+			ev.Page = pg
+			ev.Ref = d.ID
+			ev.Arg = int64(d.EncodedBytes())
+			pr.e.Tracer.Trace(ev)
+		}
 		sent++
 		c.P.Stats.UpdatesPushed++
 		c.P.Stats.UpdateBytesPushed += uint64(d.EncodedBytes())
@@ -509,6 +516,13 @@ func (pr *Munin) handleUpdate(s *sim.Svc, m *sim.Msg) {
 		s.ChargeMem(u.diff.DataBytes())
 		ctx.P.Stats.DiffsApplied++
 		ctx.P.Stats.DiffApplyCycles += cost
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(s.Now, m.To, trace.KindDiffApply)
+			ev.Page = u.page
+			ev.Ref = u.diff.ID
+			ev.Arg = int64(u.diff.DataBytes())
+			pr.e.Tracer.Trace(ev)
+		}
 		u.diff.Apply(f.Data)
 		base := pr.s.PageBase(u.page)
 		for _, r := range u.diff.Runs {
@@ -582,6 +596,13 @@ func (pr *Munin) handleFwdUpdate(s *sim.Svc, m *sim.Msg) {
 		s.ChargeMem(u.diff.DataBytes())
 		ctx.P.Stats.DiffsApplied++
 		ctx.P.Stats.DiffApplyCycles += cost
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(s.Now, m.To, trace.KindDiffApply)
+			ev.Page = u.page
+			ev.Ref = u.diff.ID
+			ev.Arg = int64(u.diff.DataBytes())
+			pr.e.Tracer.Trace(ev)
+		}
 		u.diff.Apply(f.Data)
 		base := pr.s.PageBase(u.page)
 		for _, r := range u.diff.Runs {

@@ -155,6 +155,7 @@ func (pr *TM) fetchAndApplyDiffs(c *proto.Ctx, st *tmProc, page int, wns []wnRef
 		if pr.e.Tracer != nil {
 			ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffApply)
 			ev.Page = page
+			ev.Ref = fd.d.ID
 			ev.Arg, ev.Arg2 = int64(fd.d.DataBytes()), int64(fd.proc)
 			pr.e.Tracer.Trace(ev)
 		}

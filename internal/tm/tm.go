@@ -340,19 +340,24 @@ func (pr *TM) forceDiff(c *proto.Ctx, st *tmProc, pg int, cat stats.Category) {
 		c.P.Stats.DiffsCreated++
 		c.P.Stats.DiffBytesCreated += uint64(d.EncodedBytes())
 	}
-	c.P.Advance(cost, cat)
 	if d == nil {
 		d = &mem.Diff{Page: pg}
 	}
 	if pr.e.Tracer != nil {
 		ev := trace.Ev(c.P.Clock, c.ID, trace.KindDiffCreate)
 		ev.Page = pg
+		ev.Ref = d.ID
 		ev.Arg = int64(d.EncodedBytes())
 		pr.e.Tracer.Trace(ev)
 	}
+	// Publish before charging the creation cost: Advance blocks, and a
+	// remote diff request serviced during the charge must find this diff
+	// cached — re-diffing the interval would consume its twin twice and
+	// ship a redundant duplicate.
 	rec.diffs[pg] = d
 	delete(rec.twins, pg)
 	delete(st.undiffed, pg)
+	c.P.Advance(cost, cat)
 }
 
 // svcDiff creates a requested diff in service context (the generator-side
@@ -370,8 +375,6 @@ func (pr *TM) svcDiff(s *sim.Svc, st *tmProc, rec *interval, pg int) *mem.Diff {
 	pp := &pr.e.Params
 	d := mem.MakeDiff(pg, twin, f.Data, pp.WordBytes)
 	cost := pp.DiffCycles(pr.pageSize)
-	s.Charge(cost)
-	s.ChargeMem(pr.pageSize)
 	ctx.P.Stats.DiffCreateCycles += cost
 	if d == nil {
 		d = &mem.Diff{Page: pg}
@@ -382,14 +385,19 @@ func (pr *TM) svcDiff(s *sim.Svc, st *tmProc, rec *interval, pg int) *mem.Diff {
 	if pr.e.Tracer != nil {
 		ev := trace.Ev(s.Now, st.id, trace.KindDiffCreate)
 		ev.Page = pg
+		ev.Ref = d.ID
 		ev.Arg = int64(d.EncodedBytes())
 		pr.e.Tracer.Trace(ev)
 	}
+	// Publish before charging, mirroring forceDiff: a concurrent local
+	// fault on the same page must reuse this diff, not re-diff the twin.
 	rec.diffs[pg] = d
 	delete(rec.twins, pg)
 	if st.undiffed[pg] == rec {
 		delete(st.undiffed, pg)
 	}
+	s.Charge(cost)
+	s.ChargeMem(pr.pageSize)
 	return d
 }
 

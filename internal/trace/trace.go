@@ -41,6 +41,9 @@ const (
 	// KindLockRequest: a processor sends a lock ownership request.
 	// Arg = manager processor.
 	KindLockRequest
+	// KindLockEnqueue: the manager found the lock held and appended the
+	// requester to the waiting queue. Proc = manager, Arg = requester.
+	KindLockEnqueue
 	// KindLockGrant: the manager's grant lands at the acquirer.
 	// Arg = last releaser (-1 on first acquisition), Arg2 = acquire count.
 	KindLockGrant
@@ -109,6 +112,7 @@ var kindNames = [numKinds]string{
 	KindRunStart:      "run-start",
 	KindRunEnd:        "run-end",
 	KindLockRequest:   "lock-request",
+	KindLockEnqueue:   "lock-enqueue",
 	KindLockGrant:     "lock-grant",
 	KindLockRelease:   "lock-release",
 	KindLAPNotice:     "lap-notice",
@@ -146,7 +150,7 @@ func (k Kind) Category() string {
 	switch k {
 	case KindRunStart, KindRunEnd:
 		return "run"
-	case KindLockRequest, KindLockGrant, KindLockRelease:
+	case KindLockRequest, KindLockEnqueue, KindLockGrant, KindLockRelease:
 		return "lock"
 	case KindLAPNotice, KindLAPPredict, KindLAPHit, KindLAPMiss, KindLAPPush, KindUpdatePush:
 		return "lap"
@@ -176,6 +180,15 @@ type Event struct {
 	Arg   int64
 	Arg2  int64
 	Note  string
+
+	// Ref is the process-local identity of the diff a diff-create /
+	// diff-apply / diff-merge event refers to (mem.Diff.ID), or 0 when not
+	// applicable. It lets an invariant auditor recognize the same diff
+	// across events within one run. Because the counter behind it is
+	// process-global, Ref is NOT reproducible across runs and is therefore
+	// excluded from the serialized (JSONL/Chrome) formats, which stay
+	// byte-deterministic.
+	Ref uint64
 }
 
 // Ev returns an event with Lock and Page marked not-applicable; callers
