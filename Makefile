@@ -1,0 +1,27 @@
+# Convenience entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test lint fuzz
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 test suite (use GOFLAGS=-short for the quick variant).
+test:
+	$(GO) test ./...
+
+# Static gates: vet, formatting, and the repo's invariant lint suite
+# (dsmvet; see docs/LINTING.md). staticcheck/govulncheck run in CI where
+# the tools are installed.
+lint:
+	$(GO) vet ./...
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$fmt" >&2; exit 1; fi
+	$(GO) run ./cmd/dsmvet ./...
+
+# Quick differential-checker pass (see docs/TESTING.md for deeper runs).
+fuzz:
+	$(GO) run ./cmd/fuzzdsm -iters 50

@@ -1,0 +1,86 @@
+// Command dsmvet runs the repo's invariant lint suite (internal/lint) over
+// the given package patterns, printing one line per finding and exiting
+// nonzero when anything is flagged. It is the static half of the protocol
+// checking story: the differential checker (cmd/fuzzdsm) rejects invariant
+// violations at run time; dsmvet rejects the code shapes that cause them
+// at compile time. See docs/LINTING.md.
+//
+// Usage:
+//
+//	go run ./cmd/dsmvet ./...
+//	go run ./cmd/dsmvet -run blockingcharge,tracedisc ./internal/tm
+//	go run ./cmd/dsmvet -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aecdsm/internal/lint"
+	"aecdsm/internal/lint/analysis"
+	"aecdsm/internal/lint/loader"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dsmvet [-list] [-run names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *listFlag {
+		for _, a := range all {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runFlag != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dsmvet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		findings, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -102,10 +102,14 @@ func (pr *AEC) Acquire(c *proto.Ctx, lock int) {
 			f := c.M.Peek(pg)
 			if f.Valid {
 				d := buf.diffs[pg]
-				pr.chargeDiffApply(c, d, stats.Synch, false)
-				pr.applyDiffData(c, d)
+				// Publish before the apply charge: handlePush may
+				// replace st.recv[lock] while virtual time advances,
+				// and the flags must land in the buffer the diff was
+				// read from (the PR 2 double-diff lesson).
 				st.accessedCur[pg] = true
 				buf.applied[pg] = true
+				pr.chargeDiffApply(c, d, stats.Synch, false)
+				pr.applyDiffData(c, d)
 			}
 		}
 		delete(st.recv, lock)
@@ -149,10 +153,11 @@ func (pr *AEC) overlapUnit(c *proto.Ctx, st *procState, lock int) bool {
 				continue
 			}
 			d := buf.diffs[pg]
-			pr.chargeDiffApply(c, d, stats.Synch, true)
-			pr.applyDiffData(c, d)
+			// Publish before the apply charge (see the grant path).
 			st.accessedCur[pg] = true
 			buf.applied[pg] = true
+			pr.chargeDiffApply(c, d, stats.Synch, true)
+			pr.applyDiffData(c, d)
 			return true
 		}
 	}
@@ -280,6 +285,10 @@ func (pr *AEC) Release(c *proto.Ctx, lock int) {
 		}
 		if len(missing) > 0 {
 			diffs := pr.fetchLockDiffs(c, lock, owner, missing, stats.Synch)
+			// Reload after the fetch round-trip: virtual time advanced
+			// while we waited, so the chain reference must be refreshed
+			// before publishing into it.
+			inherited = st.inherited[lock]
 			for _, d := range diffs {
 				if d != nil {
 					inherited[d.Page] = d

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the comment directive that suppresses a dsmvet finding:
+//
+//	//dsmvet:allow <analyzer> <reason>
+//
+// The directive applies to the line it appears on and, when it stands on a
+// line of its own, to the following line. The reason is mandatory: an
+// unexplained suppression is itself reported.
+const AllowPrefix = "//dsmvet:allow"
+
+// Allow is one parsed //dsmvet:allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	Line     int
+	File     string
+	Used     bool
+}
+
+// CollectAllows extracts every //dsmvet:allow directive from the files.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []*Allow {
+	var out []*Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				a := &Allow{Pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				a.File, a.Line = pos.Filename, pos.Line
+				if len(fields) > 0 {
+					a.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					a.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Match finds an allow directive for the analyzer covering the given file
+// line: a directive on the same line, or on the immediately preceding line.
+func Match(allows []*Allow, analyzer, file string, line int) *Allow {
+	for _, a := range allows {
+		if a.Analyzer != analyzer || a.File != file {
+			continue
+		}
+		if a.Line == line || a.Line == line-1 {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"aecdsm/internal/lint/analysis"
+)
+
+// Chargecat enforces cycle-accounting hygiene for the paper's execution
+// time breakdown (stats.Category): each layer may only charge the
+// categories that belong to it — protocols charge Data and Synch, the
+// engine owns IPC, applications charge Busy — and a service handler that
+// sends a message without charging any service cycles is a zero-cost
+// message smell (every real message costs interrupt, list and bus time).
+var Chargecat = &analysis.Analyzer{
+	Name: "chargecat",
+	Doc: "Advance/Block/WaitUntil/SendFrom/Breakdown.Add must use a " +
+		"stats.Category allowed for their layer, and Svc handlers that Send " +
+		"without any Charge* are zero-cost-message smells",
+	Run: runChargecat,
+}
+
+// allowedCats maps the base package name to the categories its layer may
+// charge with a literal constant. Passing a Category variable through is
+// always fine: the literal is checked where it enters.
+var allowedCats = map[string][]string{
+	"sim":     {"Busy", "Data", "Synch", "IPC", "Others"},
+	"proto":   {"Busy", "Data", "Synch", "Others"},
+	"aec":     {"Data", "Synch"},
+	"tm":      {"Data", "Synch"},
+	"munin":   {"Data", "Synch"},
+	"apps":    {"Busy"},
+	"lap":     {},
+	"mem":     {},
+	"memsys":  {},
+	"network": {},
+}
+
+var chargecatScope = append([]string{"apps"}, protocolScope...)
+
+// categoryTakers are the methods whose stats.Category argument is audited.
+var categoryTakers = map[string]bool{
+	"Advance":   true,
+	"Block":     true,
+	"WaitUntil": true,
+	"SendFrom":  true,
+	"Add":       true,
+	"Compute":   true, // takes no Category today; listed for future-proofing
+}
+
+func runChargecat(pass *analysis.Pass) (any, error) {
+	if !inRepoScope(pass.Pkg.Path(), chargecatScope...) {
+		return nil, nil
+	}
+	allowed, ok := allowedCats[basePkgName(pass.Pkg.Path())]
+	if !ok {
+		// Fixture or unknown layer: hold it to the strictest protocol
+		// contract so testdata can exercise the rule.
+		allowed = []string{"Data", "Synch"}
+	}
+	allowedSet := make(map[string]bool, len(allowed))
+	for _, c := range allowed {
+		allowedSet[c] = true
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.TypesInfo, call)
+			if callee == nil || !categoryTakers[callee.Name()] {
+				return true
+			}
+			rn := recvNamed(callee)
+			if rn == nil || !(pkgIs(rn.Obj().Pkg(), "sim") || pkgIs(rn.Obj().Pkg(), "stats") || pkgIs(rn.Obj().Pkg(), "proto")) {
+				return true
+			}
+			for _, arg := range call.Args {
+				name, ok := categoryConst(pass, arg)
+				if !ok {
+					continue
+				}
+				if !allowedSet[name] {
+					pass.Reportf(arg.Pos(), "stats.%s is not a category this layer may charge (allowed: %s): cycle attribution drives the paper's Figures 4-6 breakdown, so cross-layer charges corrupt the results", name, allowedList(allowed))
+				}
+			}
+			return true
+		})
+	}
+
+	checkZeroCostSends(pass)
+	return nil, nil
+}
+
+// categoryConst resolves arg to a stats.Category constant name.
+func categoryConst(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.Ident:
+		id = x
+	default:
+		return "", false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || !pkgIs(c.Pkg(), "stats") {
+		return "", false
+	}
+	n, ok := c.Type().(*types.Named)
+	if !ok || n.Obj().Name() != "Category" {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+func allowedList(allowed []string) string {
+	if len(allowed) == 0 {
+		return "none; this layer never charges directly"
+	}
+	return strings.Join(allowed, ", ")
+}
+
+// checkZeroCostSends flags functions that take a *sim.Svc, call its Send,
+// and never charge any service cycles: simulated messages are never free.
+func checkZeroCostSends(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body, name = fn.Type, fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				ftype, body, name = fn.Type, fn.Body, "handler literal"
+			default:
+				return true
+			}
+			if body == nil || !hasSvcParam(pass, ftype) {
+				return true
+			}
+			var sends []*ast.CallExpr
+			charged := false
+			ast.Inspect(body, func(bn ast.Node) bool {
+				if _, ok := bn.(*ast.FuncLit); ok && bn != n {
+					return false // nested handlers audited on their own
+				}
+				call, ok := bn.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				rn := recvNamed(callee)
+				if rn == nil || rn.Obj().Name() != "Svc" || !pkgIs(rn.Obj().Pkg(), "sim") {
+					// Package-local helpers may do the charging.
+					if callee.Pkg() == pass.Pkg {
+						switch {
+						case strings.HasPrefix(callee.Name(), "Charge"), strings.HasPrefix(callee.Name(), "charge"):
+							charged = true
+						}
+					}
+					return true
+				}
+				switch callee.Name() {
+				case "Send":
+					sends = append(sends, call)
+				case "Charge", "ChargeList", "ChargeMem":
+					charged = true
+				}
+				return true
+			})
+			if !charged {
+				sort.Slice(sends, func(i, j int) bool { return sends[i].Pos() < sends[j].Pos() })
+				for _, s := range sends {
+					pass.Reportf(s.Pos(), "%s sends a message without charging any service cycles (no Charge/ChargeList/ChargeMem on this Svc): zero-cost messages understate the ipc category", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasSvcParam reports whether the function type takes a *sim.Svc.
+func hasSvcParam(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, f := range ftype.Params.List {
+		t := pass.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if n, ok := p.Elem().(*types.Named); ok && n.Obj().Name() == "Svc" && pkgIs(n.Obj().Pkg(), "sim") {
+			return true
+		}
+	}
+	return false
+}
+
+// basePkgName returns the last path element of an import path.
+func basePkgName(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,92 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"aecdsm/internal/lint"
+	"aecdsm/internal/lint/analysis"
+	"aecdsm/internal/lint/analysistest"
+)
+
+// The fixture packages under testdata/src each contain violations marked
+// with `// want "regex"` comments plus clean shapes that must stay silent;
+// every analyzer is exercised against its fixture in isolation so a finding
+// can only come from the analyzer under test.
+
+func TestSinglethread(t *testing.T) {
+	analysistest.Run(t, "testdata", "singlethread", lint.Singlethread)
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", "determinism", lint.Determinism)
+}
+
+func TestBlockingcharge(t *testing.T) {
+	analysistest.Run(t, "testdata", "blockingcharge", lint.Blockingcharge)
+}
+
+func TestTracedisc(t *testing.T) {
+	analysistest.Run(t, "testdata", "tracedisc", lint.Tracedisc)
+}
+
+func TestChargecat(t *testing.T) {
+	analysistest.Run(t, "testdata", "chargecat", lint.Chargecat)
+}
+
+// TestPR2RegressionShape pins the acceptance criterion that re-introducing
+// the TreadMarks double-diff race (diff published through a reference that
+// went stale across a blocking charge) fails dsmvet: the fixture function
+// doubleDiffRace reproduces tm.forceDiff as it looked before the PR 2 fix,
+// and blockingcharge must flag its publication line.
+func TestPR2RegressionShape(t *testing.T) {
+	findings := analysistest.Run(t, "testdata", "blockingcharge", lint.Blockingcharge)
+	for _, f := range findings {
+		if strings.HasSuffix(f.Pos.Filename, "pr2regression.go") &&
+			strings.Contains(f.Message, "after a blocking charge") {
+			return
+		}
+	}
+	t.Fatalf("no blockingcharge finding in pr2regression.go; findings: %v", findings)
+}
+
+// TestAllowDirectives exercises the //dsmvet:allow escape hatch: a
+// justified directive suppresses its finding, while findings without a
+// directive survive and malformed or unused directives are reported. The
+// expectations live here rather than in want comments because the
+// directive findings land on the directive's own comment line.
+func TestAllowDirectives(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata", "allowdir")
+	findings, err := lint.RunPackage(pkg, []*analysis.Analyzer{lint.Singlethread})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(analyzer, substr string) int {
+		n := 0
+		for _, f := range findings {
+			if f.Analyzer == analyzer && strings.Contains(f.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// The directive-covered channel creation is suppressed, the bare one
+	// survives: exactly one singlethread finding.
+	if got := count("singlethread", "channel creation"); got != 1 {
+		t.Errorf("want exactly 1 surviving channel-creation finding, got %d:\n%v", got, findings)
+	}
+	if got := count("allow", "missing its mandatory reason"); got != 1 {
+		t.Errorf("want 1 missing-reason directive finding, got %d:\n%v", got, findings)
+	}
+	if got := count("allow", "unknown analyzer"); got != 1 {
+		t.Errorf("want 1 unknown-analyzer directive finding, got %d:\n%v", got, findings)
+	}
+	if got := count("allow", "unused //dsmvet:allow singlethread directive"); got != 1 {
+		t.Errorf("want 1 unused-directive finding, got %d:\n%v", got, findings)
+	}
+	if len(findings) != 4 {
+		t.Errorf("want 4 findings total, got %d:\n%v", len(findings), findings)
+	}
+}

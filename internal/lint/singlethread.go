@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"aecdsm/internal/lint/analysis"
+)
+
+// Singlethread enforces the simulator's cooperative-scheduling contract:
+// exactly one of {engine, some processor goroutine} executes at any
+// instant, so the protocol packages must not introduce real concurrency.
+// Goroutines, channel operations, select statements and sync/sync-atomic
+// primitives are forbidden inside the single-runner core; only the
+// engine's coroutine handoff may use them, behind //dsmvet:allow.
+var Singlethread = &analysis.Analyzer{
+	Name: "singlethread",
+	Doc: "forbid go statements, channel operations and sync primitives in the " +
+		"cooperatively-scheduled simulator core (engine.go: \"no locking is " +
+		"needed anywhere\"); only the engine coroutine handoff is exempt",
+	Run: runSinglethread,
+}
+
+func runSinglethread(pass *analysis.Pass) (any, error) {
+	if !inRepoScope(pass.Pkg.Path(), protocolScope...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(x.Pos(), "go statement spawns a second runner in the cooperatively-scheduled core; only the engine coroutine handoff may do this")
+			case *ast.SendStmt:
+				pass.Reportf(x.Pos(), "channel send in the single-runner core; protocol state is handed off via the engine, not channels")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					pass.Reportf(x.Pos(), "channel receive in the single-runner core; protocol state is handed off via the engine, not channels")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(x.Pos(), "select statement in the single-runner core; the engine's event loop is the only scheduler")
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(x.Pos(), "range over a channel in the single-runner core")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+					if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+						if t := pass.TypeOf(x.Args[0]); t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								pass.Reportf(x.Pos(), "channel creation in the single-runner core; only the engine coroutine handoff may use channels")
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Any use of sync or sync/atomic: the core's whole design premise is
+	// that no locking is needed anywhere (see sim.Engine's doc comment).
+	type use struct {
+		pos  token.Pos
+		name string
+	}
+	var uses []use
+	for id, obj := range pass.TypesInfo.Uses {
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		if p := obj.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+			uses = append(uses, use{id.Pos(), p + "." + obj.Name()})
+		}
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+	for _, u := range uses {
+		pass.Reportf(u.pos, "use of %s in the single-runner core: the simulator guarantees one runner at a time, so locking hides bugs instead of fixing them", u.name)
+	}
+	return nil, nil
+}

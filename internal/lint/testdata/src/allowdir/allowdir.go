@@ -1,0 +1,26 @@
+// Fixture for the //dsmvet:allow escape hatch: a justified directive
+// suppresses its finding, while malformed or unused directives are
+// themselves reported. The expectations for this fixture live in the Go
+// test (allow findings land on the directive's own line, where a want
+// comment cannot sit).
+package allowdir
+
+func suppressed() chan int {
+	//dsmvet:allow singlethread fixture stand-in for the engine coroutine handoff
+	return make(chan int)
+}
+
+func unsuppressed() chan int {
+	return make(chan int) // no directive: the channel creation finding survives
+}
+
+//dsmvet:allow singlethread
+func missingReason() {} // the directive above lacks its mandatory reason
+
+//dsmvet:allow nosuchanalyzer because typos happen
+func unknownAnalyzer() {}
+
+func unused() {
+	//dsmvet:allow singlethread nothing on the next line needs suppressing
+	_ = 0
+}

@@ -1,0 +1,71 @@
+// Fixture for the blockingcharge analyzer: map-loaded protocol records
+// written through after a call that advances virtual time.
+package blockingcharge
+
+import (
+	"mem"
+	"proto"
+	"stats"
+)
+
+type record struct {
+	diffs map[int]*mem.Diff
+}
+
+type procState struct {
+	undiffed map[int]*record
+}
+
+// publishBeforeChargeOK is the fixed shape: the record is published while
+// the loaded reference is certainly fresh, then the cost is charged.
+func publishBeforeChargeOK(c *proto.Ctx, st *procState, pg int, cost uint64) {
+	rec := st.undiffed[pg]
+	d := &mem.Diff{Page: pg}
+	rec.diffs[pg] = d
+	c.P.Advance(cost, stats.Synch)
+}
+
+// reloadAfterChargeOK refreshes the reference after the charge before
+// publishing through it.
+func reloadAfterChargeOK(c *proto.Ctx, st *procState, pg int, cost uint64) {
+	rec := st.undiffed[pg]
+	d := &mem.Diff{Page: pg}
+	_ = rec
+	c.P.Advance(cost, stats.Synch)
+	rec = st.undiffed[pg]
+	rec.diffs[pg] = d
+}
+
+// staleDelete removes an entry through a reference loaded before a
+// blocking service charge.
+func staleDelete(s *simSvc, st *procState, pg int) {
+	buf := st.undiffed[pg]
+	s.charge()
+	delete(buf.diffs, pg) // want `delete through buf \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge`
+}
+
+// staleViaHelper publishes through a stale reference where the blocking
+// call is hidden behind a package-local helper.
+func staleViaHelper(c *proto.Ctx, st *procState, pg int) {
+	rec := st.undiffed[pg]
+	chargeHelper(c, 10)
+	rec.diffs[pg] = nil // want `write through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge`
+}
+
+func chargeHelper(c *proto.Ctx, cost uint64) {
+	c.P.Advance(cost, stats.Synch)
+}
+
+// simSvc wraps the service charge so the fixture exercises the transitive
+// blocking-set computation in service context too.
+type simSvc struct{}
+
+func (s *simSvc) charge() {
+	blockViaCtx(nil)
+}
+
+func blockViaCtx(c *proto.Ctx) {
+	if c != nil {
+		c.WriteWord(0, 0)
+	}
+}

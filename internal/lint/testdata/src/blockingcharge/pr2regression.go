@@ -1,0 +1,22 @@
+// pr2regression reproduces the TreadMarks double-diff race that PR 2's
+// runtime auditor caught in tm.forceDiff: the undiffed-interval record is
+// loaded, the diff-creation cost is charged — during which, in simulated
+// time, a service handler can serve a diff request for the same page and
+// consume or replace the record — and the diff is then published through
+// the stale reference. Re-introducing this shape in internal/tm must make
+// dsmvet fail CI.
+package blockingcharge
+
+import (
+	"mem"
+	"proto"
+	"stats"
+)
+
+func doubleDiffRace(c *proto.Ctx, st *procState, pg int, cost uint64) {
+	rec := st.undiffed[pg]
+	d := &mem.Diff{Page: pg}
+	c.P.Stats.DiffsCreated++
+	c.P.Advance(cost, stats.Synch)
+	rec.diffs[pg] = d // want `write through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge at line \d+`
+}

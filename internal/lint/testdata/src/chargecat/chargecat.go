@@ -1,0 +1,48 @@
+// Fixture for the chargecat analyzer. The fixture package is outside the
+// layer table, so it is held to the strictest protocol contract: only
+// stats.Data and stats.Synch may be charged with a literal category.
+package chargecat
+
+import (
+	"sim"
+	"stats"
+)
+
+func chargesAllowedOK(p *sim.Proc) {
+	p.Advance(10, stats.Data)
+	p.Advance(10, stats.Synch)
+}
+
+func chargesBusy(p *sim.Proc) {
+	p.Advance(10, stats.Busy) // want `stats\.Busy is not a category this layer may charge`
+}
+
+func blocksOnIPC(p *sim.Proc) {
+	p.Block(stats.IPC) // want `stats\.IPC is not a category this layer may charge`
+}
+
+func addsOthers(b *stats.Breakdown) {
+	b.Add(stats.Others, 5) // want `stats\.Others is not a category this layer may charge`
+}
+
+func passThroughVariableOK(p *sim.Proc, cat stats.Category) {
+	p.Advance(10, cat)
+}
+
+func handlerNoCharge(s *sim.Svc, m *sim.Msg) {
+	s.Send(m.From, 1, 8, nil, nil) // want `handlerNoCharge sends a message without charging any service cycles`
+}
+
+func handlerChargedOK(s *sim.Svc, m *sim.Msg) {
+	s.ChargeList(1)
+	s.Send(m.From, 1, 8, nil, nil)
+}
+
+func handlerChargesViaHelperOK(s *sim.Svc, m *sim.Msg) {
+	chargeInterrupt(s)
+	s.Send(m.From, 1, 8, nil, nil)
+}
+
+func chargeInterrupt(s *sim.Svc) {
+	s.Charge(4)
+}

@@ -1,0 +1,18 @@
+// Package rand is the fixture stand-in for math/rand; the determinism
+// analyzer recognizes it by import path.
+package rand
+
+// Int draws from the global stream.
+func Int() int { return 0 }
+
+// Intn draws from the global stream.
+func Intn(n int) int { return 0 }
+
+// Rand is a seeded source (allowed).
+type Rand struct{}
+
+// New returns a seeded source; New* constructors are allowed.
+func New() *Rand { return &Rand{} }
+
+// Intn draws from this source (allowed: method, not the global stream).
+func (r *Rand) Intn(n int) int { return 0 }

@@ -1,0 +1,14 @@
+// Package mem is the fixture stand-in for aecdsm/internal/mem.
+package mem
+
+// Diff is an encoded page modification set.
+type Diff struct {
+	Page int
+	ID   uint64
+}
+
+// Frame is one page frame.
+type Frame struct {
+	Data []byte
+	Twin []byte
+}

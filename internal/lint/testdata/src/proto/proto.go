@@ -1,0 +1,17 @@
+// Package proto is the fixture stand-in for aecdsm/internal/proto. Every
+// exported Ctx method is treated as blocking by the analyzers.
+package proto
+
+import "sim"
+
+// Ctx is a processor's protocol context.
+type Ctx struct {
+	ID int
+	P  *sim.Proc
+}
+
+// ReadWord services a read access (blocking).
+func (c *Ctx) ReadWord(addr int) uint64 { return 0 }
+
+// WriteWord services a write access (blocking).
+func (c *Ctx) WriteWord(addr int, v uint64) {}

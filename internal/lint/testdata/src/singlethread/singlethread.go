@@ -1,0 +1,33 @@
+// Fixture for the singlethread analyzer: real concurrency in the
+// single-runner core.
+package singlethread
+
+import "sync"
+
+func spawn(work func()) {
+	go work() // want `go statement spawns a second runner`
+}
+
+func channels() {
+	ch := make(chan int) // want `channel creation in the single-runner core`
+	ch <- 1              // want `channel send in the single-runner core`
+	<-ch                 // want `channel receive in the single-runner core`
+	for range ch {       // want `range over a channel in the single-runner core`
+	}
+	select {} // want `select statement in the single-runner core`
+}
+
+var mu sync.Mutex // want `use of sync\.Mutex in the single-runner core`
+
+func locked() {
+	mu.Lock()         // want `use of sync\.Lock in the single-runner core`
+	defer mu.Unlock() // want `use of sync\.Unlock in the single-runner core`
+}
+
+func plainCodeIsFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

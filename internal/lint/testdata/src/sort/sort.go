@@ -1,0 +1,9 @@
+// Package sort is the fixture stand-in for the standard library's sort
+// package; the determinism analyzer recognizes it by import path.
+package sort
+
+// Ints sorts a slice of ints.
+func Ints(a []int) {}
+
+// Slice sorts x by less.
+func Slice(x any, less func(i, j int) bool) {}

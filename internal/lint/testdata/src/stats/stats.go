@@ -1,0 +1,25 @@
+// Package stats is the fixture stand-in for aecdsm/internal/stats: just
+// enough surface for the analyzers to resolve Category constants and
+// Breakdown.Add call sites.
+package stats
+
+// Category mirrors the real execution-time breakdown categories.
+type Category int
+
+const (
+	Busy Category = iota
+	Data
+	Synch
+	IPC
+	Others
+)
+
+// Breakdown accumulates cycles per category.
+type Breakdown struct {
+	Cycles [5]uint64
+}
+
+// Add charges n cycles to cat.
+func (b *Breakdown) Add(cat Category, n uint64) {
+	b.Cycles[cat] += n
+}

@@ -1,0 +1,9 @@
+// Package atomic is the fixture stand-in for sync/atomic; the
+// singlethread analyzer recognizes it by import path.
+package atomic
+
+// Uint64 is an atomic counter.
+type Uint64 struct{ v uint64 }
+
+// Add atomically adds delta.
+func (u *Uint64) Add(delta uint64) uint64 { return 0 }

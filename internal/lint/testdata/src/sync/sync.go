@@ -1,0 +1,12 @@
+// Package sync is the fixture stand-in for the standard library's sync
+// package; the singlethread analyzer recognizes it by import path.
+package sync
+
+// Mutex is a mutual exclusion lock.
+type Mutex struct{}
+
+// Lock locks m.
+func (m *Mutex) Lock() {}
+
+// Unlock unlocks m.
+func (m *Mutex) Unlock() {}

@@ -1,0 +1,9 @@
+// Package time is the fixture stand-in for the standard library's time
+// package; the determinism analyzer recognizes it by import path.
+package time
+
+// Time is a wall-clock instant.
+type Time struct{}
+
+// Now reads the wall clock.
+func Now() Time { return Time{} }

@@ -1,0 +1,35 @@
+// Package trace is the fixture stand-in for aecdsm/internal/trace.
+package trace
+
+// Kind identifies an event type.
+type Kind int
+
+const (
+	KindLockAcquire Kind = iota
+	KindBarrier
+	KindDiffCreate
+	KindDiffApply
+	KindDiffMerge
+)
+
+// Event is one protocol event.
+type Event struct {
+	Cycle uint64
+	Proc  int
+	Kind  Kind
+	Page  int
+	Lock  int
+	Arg   int64
+	Arg2  int64
+	Ref   uint64
+}
+
+// Ev builds an event with the common header fields set.
+func Ev(cycle uint64, proc int, kind Kind) Event {
+	return Event{Cycle: cycle, Proc: proc, Kind: kind}
+}
+
+// Tracer consumes events.
+type Tracer interface {
+	Trace(Event)
+}

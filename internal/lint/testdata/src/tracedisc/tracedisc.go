@@ -1,0 +1,71 @@
+// Fixture for the tracedisc analyzer: zero-perturbation tracing
+// discipline.
+package tracedisc
+
+import (
+	"mem"
+	"sim"
+	"stats"
+	"trace"
+)
+
+type eng struct {
+	Tracer trace.Tracer
+}
+
+func unguarded(e *eng, p *sim.Proc) {
+	ev := trace.Ev(uint64(p.Clock), p.ID, trace.KindLockAcquire) // want `trace event construction is not behind a tracer nil check`
+	e.Tracer.Trace(ev)                                           // want `Tracer\.Trace emission is not behind a tracer nil check`
+}
+
+func guardedOK(e *eng, p *sim.Proc) {
+	if e.Tracer != nil {
+		ev := trace.Ev(uint64(p.Clock), p.ID, trace.KindLockAcquire)
+		ev.Lock = 1
+		e.Tracer.Trace(ev)
+	}
+}
+
+func earlyReturnOK(e *eng, p *sim.Proc) {
+	if e.Tracer == nil {
+		return
+	}
+	ev := trace.Ev(uint64(p.Clock), p.ID, trace.KindBarrier)
+	e.Tracer.Trace(ev)
+}
+
+func chargesInsideGuard(e *eng, p *sim.Proc) {
+	if e.Tracer != nil {
+		ev := trace.Ev(uint64(p.Clock), p.ID, trace.KindLockAcquire)
+		p.Advance(1, stats.Synch) // want `cycle charge inside a tracer nil-check block`
+		e.Tracer.Trace(ev)
+	}
+}
+
+func diffNoRef(e *eng, p *sim.Proc, d *mem.Diff) {
+	if e.Tracer != nil {
+		ev := trace.Ev(uint64(p.Clock), p.ID, trace.KindDiffCreate) // want `trace\.Ev\(\.\.\., trace\.KindDiffCreate\) event never populates Ref`
+		ev.Page = d.Page
+		e.Tracer.Trace(ev)
+	}
+}
+
+func diffWithRefOK(e *eng, p *sim.Proc, d *mem.Diff) {
+	if e.Tracer != nil {
+		ev := trace.Ev(uint64(p.Clock), p.ID, trace.KindDiffApply)
+		ev.Ref = d.ID
+		e.Tracer.Trace(ev)
+	}
+}
+
+func diffLiteralNoRef(e *eng, d *mem.Diff) {
+	if e.Tracer != nil {
+		e.Tracer.Trace(trace.Event{Kind: trace.KindDiffMerge, Page: d.Page}) // want `does not populate Ref`
+	}
+}
+
+func diffLiteralWithRefOK(e *eng, d *mem.Diff) {
+	if e.Tracer != nil {
+		e.Tracer.Trace(trace.Event{Kind: trace.KindDiffMerge, Page: d.Page, Ref: d.ID})
+	}
+}

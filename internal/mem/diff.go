@@ -28,8 +28,11 @@ type Diff struct {
 // simulated processors run on separate goroutines (serialized by the
 // engine, but the race detector cannot know that across runs in parallel
 // tests).
+//
+//dsmvet:allow singlethread process-global ID counter shared by parallel test runs; serialized per engine, atomic only for the race detector
 var diffIDs atomic.Uint64
 
+//dsmvet:allow singlethread process-global ID counter shared by parallel test runs; serialized per engine, atomic only for the race detector
 func nextDiffID() uint64 { return diffIDs.Add(1) }
 
 // runHeaderBytes is the encoded size of a run header (offset + length).

@@ -631,6 +631,7 @@ func (pr *Munin) handleFwdInval(s *sim.Svc, m *sim.Msg) {
 		ctx.M.Invalidate(u.page)
 		ctx.P.Stats.Invalidations++
 	}
+	//dsmvet:allow chargecat bare ack; the home charged the forward on the update path and the releaser pays the wait, so the ack itself carries no billable work
 	s.Send(u.releaser, kMemberAck, 8, nil, func(s2 *sim.Svc, m2 *sim.Msg) {
 		pr.ps[m2.To].memAcks++
 		s2.Wake(s2.P)

@@ -52,16 +52,18 @@ func New(p memsys.Params, run *stats.Run) *Engine {
 	}
 	for i := 0; i < p.NumProcs; i++ {
 		pr := &Proc{
-			ID:       i,
-			Eng:      e,
-			Stats:    &run.Procs[i],
-			Cache:    memsys.NewCache(p.CacheBytes, p.CacheLineBytes),
-			TLB:      memsys.NewTLB(p.TLBEntries),
-			MemBus:   memsys.NewBus(p.MemSetupCycles, p.MemPerWordCycles),
-			IOBus:    memsys.NewBus(p.IOBusSetupCycles, p.IOBusPerWordCycles),
+			ID:     i,
+			Eng:    e,
+			Stats:  &run.Procs[i],
+			Cache:  memsys.NewCache(p.CacheBytes, p.CacheLineBytes),
+			TLB:    memsys.NewTLB(p.TLBEntries),
+			MemBus: memsys.NewBus(p.MemSetupCycles, p.MemPerWordCycles),
+			IOBus:  memsys.NewBus(p.IOBusSetupCycles, p.IOBusPerWordCycles),
+			//dsmvet:allow singlethread engine coroutine handoff channels; exactly one runner is unblocked at a time
 			resumeCh: make(chan Time),
-			yieldCh:  make(chan yieldKind),
-			horizon:  0,
+			//dsmvet:allow singlethread engine coroutine handoff channels; exactly one runner is unblocked at a time
+			yieldCh: make(chan yieldKind),
+			horizon: 0,
 		}
 		e.Procs = append(e.Procs, pr)
 	}
@@ -83,7 +85,9 @@ func (e *Engine) step(p *Proc) {
 	if p.done {
 		return
 	}
+	//dsmvet:allow singlethread engine coroutine handoff: resume the runner, then wait for it to yield
 	p.resumeCh <- e.nextEventTime()
+	//dsmvet:allow singlethread engine coroutine handoff: resume the runner, then wait for it to yield
 	switch <-p.yieldCh {
 	case yieldPaused:
 		e.schedule(p.Clock, func() { e.step(p) })
@@ -105,9 +109,12 @@ func (e *Engine) Start() Time {
 		}
 		p := e.Procs[i]
 		b := body
+		//dsmvet:allow singlethread the engine coroutine handoff: one goroutine per processor body, serialized by the resume/yield channel pair
 		go func() {
+			//dsmvet:allow singlethread engine coroutine handoff: wait for the first resume
 			p.horizon = <-p.resumeCh
 			b(p)
+			//dsmvet:allow singlethread engine coroutine handoff: signal the body has returned
 			p.yieldCh <- yieldDone
 		}()
 		e.schedule(0, func() { e.step(p) })

@@ -92,7 +92,9 @@ func (p *Proc) Checkpoint() {
 
 // pause hands control to the engine and waits to be resumed.
 func (p *Proc) pause() {
+	//dsmvet:allow singlethread engine coroutine handoff: yield to the event loop
 	p.yieldCh <- yieldPaused
+	//dsmvet:allow singlethread engine coroutine handoff: block until the engine resumes us
 	p.horizon = <-p.resumeCh
 }
 
@@ -102,7 +104,9 @@ func (p *Proc) pause() {
 func (p *Proc) Block(cat stats.Category) uint64 {
 	p.wakeAt = p.Clock
 	p.blocked = true
+	//dsmvet:allow singlethread engine coroutine handoff: yield to the event loop
 	p.yieldCh <- yieldBlocked
+	//dsmvet:allow singlethread engine coroutine handoff: block until a Wake resumes us
 	p.horizon = <-p.resumeCh
 	var stalled uint64
 	if p.wakeAt > p.Clock {

@@ -133,10 +133,12 @@ func (pr *TM) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 func (pr *TM) routeGrant(s *sim.Svc, lock, to int, vc []int) {
 	l := pr.locks[lock]
 	if l.lastReleaser < 0 || l.lastReleaser == to {
+		//dsmvet:allow chargecat routing decision only; the acquire/release handlers charged the queue work and the grant body is costed at the releaser
 		s.Send(to, kGrant, 8+4*pr.nprocs,
 			grantMsg{lock: lock, vc: append([]int(nil), vc...)}, pr.handleGrant)
 		return
 	}
+	//dsmvet:allow chargecat routing decision only; the acquire/release handlers charged the queue work and the grant body is costed at the releaser
 	s.Send(l.lastReleaser, kGrantReq, 8+4*pr.nprocs,
 		grantReq{lock: lock, to: to, vc: vc}, pr.handleGrantReq)
 }
