@@ -32,6 +32,7 @@ import (
 
 	"aecdsm/internal/aec"
 	"aecdsm/internal/apps"
+	"aecdsm/internal/fault"
 	"aecdsm/internal/harness"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/munin"
@@ -122,6 +123,14 @@ type Config struct {
 	// charges simulated cycles, so the measured results are identical
 	// with or without a sink.
 	TraceSink Tracer
+	// Faults, when non-empty, enables deterministic fault injection: a
+	// preset name ("light", "heavy") or a clause list like
+	// "drop=0.05,dup=0.02,delay=0.05:8000". The empty string disables
+	// injection entirely and leaves every measurement byte-identical to
+	// earlier releases. See docs/ROBUSTNESS.md.
+	Faults string
+	// FaultSeed seeds the fault schedule (only meaningful with Faults).
+	FaultSeed uint64
 }
 
 // Run simulates one application under one protocol and returns the
@@ -147,7 +156,16 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := harness.RunTraced(cfg.Params, pr, prog, cfg.TraceSink)
+	var fcfg *fault.Config
+	if cfg.Faults != "" {
+		fc, err := fault.ParseSpec(cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("aecdsm: %w", err)
+		}
+		fc.Seed = cfg.FaultSeed
+		fcfg = &fc
+	}
+	res := harness.RunFaultTraced(cfg.Params, pr, prog, cfg.TraceSink, fcfg)
 	if res.Deadlocked {
 		return res, fmt.Errorf("aecdsm: %s under %s deadlocked", cfg.App, cfg.Protocol)
 	}

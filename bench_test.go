@@ -9,6 +9,7 @@ import (
 	"aecdsm"
 	"aecdsm/internal/aec"
 	"aecdsm/internal/harness"
+	"aecdsm/internal/network"
 )
 
 // benchScale controls the problem sizes the benchmark harness uses. The
@@ -129,6 +130,19 @@ func BenchmarkApp(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMeshTransfer measures the interconnect hot path. Transfer runs
+// once per simulated message, so it must not allocate: ReportAllocs keeps
+// the reusable route scratch buffer honest.
+func BenchmarkMeshTransfer(b *testing.B) {
+	m := network.NewMesh(aecdsm.DefaultParams())
+	b.ReportAllocs()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		m.Transfer(now, i%16, (i*7+3)%16, 256)
+		now += 5
 	}
 }
 

@@ -10,6 +10,7 @@
 //	aecsim -app Raytrace -protocol AEC -ns 3
 //	aecsim -app IS -protocol AEC -trace is.trace -trace-format chrome
 //	aecsim -app IS -protocol AEC -metrics is-metrics.json
+//	aecsim -app IS -protocol AEC -faults light -fault-seed 7
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		traceFile = flag.String("trace", "", "write the protocol event trace to this file")
 		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
 		metrics   = flag.String("metrics", "", "write the per-lock/per-page metrics summary (JSON) to this file")
+		faults    = flag.String("faults", "", "fault schedule: a preset (light, heavy) or clauses like drop=0.05,dup=0.02 (empty = no faults)")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault schedule")
 	)
 	flag.Parse()
 
@@ -72,6 +75,7 @@ func main() {
 	res, err := aecdsm.Run(aecdsm.Config{
 		App: *app, Protocol: *protocol, Scale: *scale, Ns: *ns,
 		TraceSink: aecdsm.MultiTracer(sinks...),
+		Faults:    *faults, FaultSeed: *faultSeed,
 	})
 	for _, c := range closers {
 		if cerr := c.Close(); cerr != nil {
@@ -126,6 +130,17 @@ func main() {
 		run.Sum(func(p *stats.Proc) uint64 { return p.DiffRequests }),
 		run.Sum(func(p *stats.Proc) uint64 { return p.UpdatesPushed }),
 		run.Sum(func(p *stats.Proc) uint64 { return p.UselessUpdates }))
+	if *faults != "" {
+		fmt.Printf("faults: %d drops, %d dups suppressed, %d retransmits, %d acks, %d LAP fallbacks; recovery %d cy stolen, %d cy hidden, %d cy stalled\n",
+			run.Sum(func(p *stats.Proc) uint64 { return p.MsgsDropped }),
+			run.Sum(func(p *stats.Proc) uint64 { return p.DupMsgsSuppressed }),
+			run.Sum(func(p *stats.Proc) uint64 { return p.Retransmits }),
+			run.Sum(func(p *stats.Proc) uint64 { return p.AcksSent }),
+			run.Sum(func(p *stats.Proc) uint64 { return p.LAPFallbacks }),
+			total[stats.Recovery],
+			run.Sum(func(p *stats.Proc) uint64 { return p.RecoveryHiddenCycles }),
+			run.Sum(func(p *stats.Proc) uint64 { return p.FaultStallCycles }))
+	}
 
 	if *perProc {
 		fmt.Println("\nper-processor breakdown (cycles):")

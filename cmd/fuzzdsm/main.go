@@ -11,6 +11,13 @@
 //	fuzzdsm -seed 42 -iters 1        # reproduce one failure exactly
 //	fuzzdsm -procs 4                 # force the processor count
 //	fuzzdsm -protocols AEC,TM-LH     # choose the comparison set
+//	fuzzdsm -faults light            # inject a deterministic fault schedule
+//	fuzzdsm -faults drop=0.05,dup=0.02 -fault-seed 7
+//
+// With -faults every protocol runs under the same seed-derived fault
+// schedule and must still agree bit-for-bit at every barrier phase —
+// the hardened transport (acks, retries, dedup) and degraded-mode LAP
+// are what make that possible. See docs/ROBUSTNESS.md.
 //
 // Every failure is shrunk by seed replay and printed with the exact
 // one-line command that reproduces it. See docs/TESTING.md.
@@ -23,6 +30,7 @@ import (
 	"strings"
 
 	"aecdsm/internal/check"
+	"aecdsm/internal/fault"
 	"aecdsm/internal/harness"
 )
 
@@ -33,7 +41,9 @@ func main() {
 		procs     = flag.Int("procs", 0, "force processor count (0 = derive 2-16 from seed)")
 		protocols = flag.String("protocols", "AEC,TM,Munin,ideal",
 			"comma-separated protocols to compare (AEC, AEC-noLAP, TM, TM-LH, Munin, Munin+LAP, ideal)")
-		verbose = flag.Bool("v", false, "print every workload verdict, not just failures")
+		faults    = flag.String("faults", "", "fault schedule: a preset (light, heavy) or clauses like drop=0.05,dup=0.02,delay=0.05:8000 (empty = no faults)")
+		faultSeed = flag.Uint64("fault-seed", 0, "base seed for the fault schedule (per-workload seed is fault-seed + workload seed)")
+		verbose   = flag.Bool("v", false, "print every workload verdict, not just failures")
 	)
 	flag.Parse()
 
@@ -42,15 +52,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fuzzdsm:", err)
 		os.Exit(2)
 	}
+	var baseFaults *fault.Config
+	if *faults != "" {
+		fc, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzzdsm:", err)
+			os.Exit(2)
+		}
+		baseFaults = &fc
+	}
 
 	failures := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + uint64(i)
-		rep := check.RunSeed(s, *procs, kinds)
+		var fcfg *fault.Config
+		if baseFaults != nil {
+			fc := *baseFaults
+			fc.Seed = *faultSeed + s
+			fcfg = &fc
+		}
+		rep := check.RunSeedFault(s, *procs, kinds, fcfg)
 		if rep.Failed() {
 			failures++
 			fmt.Printf("seed %d: FAIL\n%s", s, rep)
-			small, spent := check.Shrink(rep.Workload, kinds, 64)
+			small, spent := check.ShrinkFault(rep.Workload, kinds, 64, fcfg)
 			if small.Workload != rep.Workload {
 				fmt.Printf("shrunk after %d replays:\n%s", spent, small)
 			}

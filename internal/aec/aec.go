@@ -249,6 +249,14 @@ func (st *procState) archiveOutside(pr *AEC, page, step int, d *mem.Diff) {
 // words) and records Table 4 statistics. hidden marks work overlapped with
 // a synchronization stall.
 func (pr *AEC) chargeDiffCreate(c *proto.Ctx, d *mem.Diff, cat stats.Category, hidden bool) {
+	pr.chargeDiffCreateOpt(c, d, cat, hidden, false)
+}
+
+// chargeDiffCreateOpt is chargeDiffCreate plus the saved-twin marker:
+// speculative outside diffs (§3.2) keep the page's twin so they can be
+// discarded at release, and the trace event says so (Arg2 bit 1) so the
+// invariant auditor's twin/diff lifecycle model stays exact.
+func (pr *AEC) chargeDiffCreateOpt(c *proto.Ctx, d *mem.Diff, cat stats.Category, hidden, savedTwin bool) {
 	pp := &pr.e.Params
 	cost := pp.DiffCycles(pr.pageSize)
 	dataBytes := 0
@@ -269,7 +277,10 @@ func (pr *AEC) chargeDiffCreate(c *proto.Ctx, d *mem.Diff, cat stats.Category, h
 			ev.Ref = d.ID
 			ev.Arg = int64(d.EncodedBytes())
 			if hidden {
-				ev.Arg2 = 1
+				ev.Arg2 |= 1
+			}
+			if savedTwin {
+				ev.Arg2 |= 2
 			}
 			pr.e.Tracer.Trace(ev)
 		}

@@ -73,18 +73,42 @@ func (pr *AEC) Acquire(c *proto.Ctx, lock int) {
 	}
 
 	buf := st.recv[lock]
-	fresh := buf != nil && buf.from == g.lastReleaser && buf.count == g.lastCount
+	isFresh := func() bool {
+		b := st.recv[lock]
+		return b != nil && b.from == g.lastReleaser && b.count == g.lastCount
+	}
+	fresh := isFresh()
 	if g.inUS && !fresh && len(g.invPages) > 0 {
 		// The push is still in flight (sent before the release message
 		// that triggered this grant): wait for it. An empty chain means
-		// no push was sent at all.
+		// no push was sent at all. Under fault injection pushes are
+		// best-effort and may be lost outright, so the wait is bounded:
+		// on timeout we degrade to the invalidate + explicit-fetch path
+		// below instead of wedging the lock's waiting queue.
+		timedOut := false
+		if fi := pr.e.Faults; fi != nil {
+			p := c.P
+			deadline := p.Clock + fi.PushTimeout()
+			pr.e.At(deadline, func() {
+				timedOut = true
+				p.Wake(deadline)
+			})
+		}
 		c.P.WaitTag = fmt.Sprintf("push lock %d from %d count %d", lock, g.lastReleaser, g.lastCount)
-		c.P.WaitUntil(func() bool {
-			b := st.recv[lock]
-			return b != nil && b.from == g.lastReleaser && b.count == g.lastCount
-		}, stats.Synch)
+		c.P.WaitUntil(func() bool { return isFresh() || timedOut }, stats.Synch)
 		buf = st.recv[lock]
-		fresh = true
+		fresh = isFresh()
+		if !fresh {
+			c.P.Stats.LAPFallbacks++
+			pr.lockf("p%d push timeout lock %d from %d count %d: falling back to fetch",
+				c.ID, lock, g.lastReleaser, g.lastCount)
+			if pr.e.Tracer != nil {
+				ev := trace.Ev(c.P.Clock, c.ID, trace.KindLAPFallback)
+				ev.Lock = lock
+				ev.Arg = int64(g.lastReleaser)
+				pr.e.Tracer.Trace(ev)
+			}
+		}
 	}
 	if g.inUS && len(g.invPages) == 0 {
 		// Nothing to bring in for an empty chain.
@@ -169,7 +193,7 @@ func (pr *AEC) overlapUnit(c *proto.Ctx, st *procState, lock int) bool {
 		}
 		f := c.M.Frame(pg)
 		d := mem.MakeDiff(pg, f.Twin, f.Data, pr.e.Params.WordBytes)
-		pr.chargeDiffCreate(c, d, stats.Synch, true)
+		pr.chargeDiffCreateOpt(c, d, stats.Synch, true, true)
 		if d == nil {
 			// Page was re-written with identical contents; treat as
 			// clean for this interval.
@@ -354,7 +378,11 @@ func (pr *AEC) Release(c *proto.Ctx, lock int) {
 				pr.e.Tracer.Trace(ev)
 			}
 			pr.lockf("p%d push lock %d count %d to p%d (%d pages)", c.ID, lock, myCount, q, len(pages))
-			pr.e.SendFrom(c.P, stats.Synch, q, kPush, bytes,
+			// Best effort: a push is an optimization, not a protocol
+			// obligation. Under fault injection a lost push is never
+			// retransmitted — the predicted acquirer times out and
+			// falls back to explicit fetches (degraded-mode LAP).
+			pr.e.SendFromBestEffort(c.P, stats.Synch, q, kPush, bytes,
 				pushMsg{lock: lock, from: c.ID, count: myCount, step: st.step, diffs: diffs},
 				pr.handlePush)
 		}

@@ -32,6 +32,8 @@ import (
 //     processor with an outstanding twin of the page, which the creation
 //     consumes (TreadMarks banks twins in interval records and diffs
 //     them lazily, so several twins of one page can be outstanding).
+//     Creations flagged saved-twin (AEC's speculative outside diffs,
+//     event Arg2 bit 1) still require a twin but do not consume it.
 //  5. No diff applied twice: within one apply episode (a maximal
 //     consecutive run of diff-apply events at a processor — any other
 //     event at that processor closes the episode), the same diff
@@ -146,7 +148,10 @@ func (a *Auditor) Trace(ev trace.Event) {
 		if a.openTwins[key] <= 0 {
 			a.failf("t%d: proc %d created a diff of page %d without an outstanding twin",
 				ev.Cycle, ev.Proc, ev.Page)
-		} else {
+		} else if ev.Arg2&2 == 0 {
+			// Arg2 bit 1 marks a saved-twin creation (AEC's speculative
+			// outside diffs): the diff still requires a twin, but the twin
+			// survives for the page's canonical diff later.
 			a.openTwins[key]--
 		}
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"aecdsm/internal/apps"
+	"aecdsm/internal/fault"
 	"aecdsm/internal/harness"
 )
 
@@ -21,7 +22,10 @@ type ProtocolRun struct {
 // Report is the differential verdict for one workload across protocols.
 type Report struct {
 	Workload Workload
-	Runs     []ProtocolRun
+	// Faults is the fault schedule the runs were subjected to (nil =
+	// fault-free).
+	Faults *fault.Config
+	Runs   []ProtocolRun
 	// Failures lists everything wrong: per-run deadlocks, verification
 	// errors and invariant violations, plus cross-protocol disagreements.
 	// Empty means every protocol agreed and every invariant held.
@@ -38,6 +42,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "workload seed=%d procs=%d pagesize=%d locks=%d cells=%d phases=%d ops=%d pad=%d notices=%v\n",
 		w.Seed, w.Procs, w.PageSize, w.Cfg.Locks, w.Cfg.CellsPerLock,
 		w.Cfg.Phases, w.Cfg.OpsPerPhase, w.Cfg.PadWords, w.Cfg.Notices)
+	if r.Faults != nil {
+		fmt.Fprintf(&b, "  faults %s seed=%d\n", r.Faults, r.Faults.Seed)
+	}
 	for _, run := range r.Runs {
 		fmt.Fprintf(&b, "  %-10s final=%016x deadlock=%v verify=%v violations=%d\n",
 			run.Kind, run.Final, run.Deadlocked, run.VerifyErr, len(run.Violations))
@@ -46,7 +53,12 @@ func (r *Report) String() string {
 		for _, f := range r.Failures {
 			fmt.Fprintf(&b, "  FAIL: %s\n", f)
 		}
-		fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d\n", w.Seed, w.Procs)
+		if r.Faults != nil {
+			fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d -faults %s -fault-seed %d\n",
+				w.Seed, w.Procs, r.Faults, r.Faults.Seed-w.Seed)
+		} else {
+			fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d\n", w.Seed, w.Procs)
+		}
 	}
 	return b.String()
 }
@@ -75,11 +87,19 @@ func AllProtocols() []harness.ProtocolKind {
 // no verification failures, no invariant violations, and bit-identical
 // checksums of all shared state at every barrier phase.
 func RunWorkload(w Workload, kinds []harness.ProtocolKind) *Report {
-	rep := &Report{Workload: w}
+	return RunWorkloadFault(w, kinds, nil)
+}
+
+// RunWorkloadFault is RunWorkload under an injected fault schedule: every
+// protocol runs with the same deterministic schedule, and the hardened
+// protocols must still produce bit-identical barrier-phase checksums. A
+// nil fcfg is exactly RunWorkload.
+func RunWorkloadFault(w Workload, kinds []harness.ProtocolKind, fcfg *fault.Config) *Report {
+	rep := &Report{Workload: w, Faults: fcfg}
 	for _, k := range kinds {
 		prog := apps.NewSynth(w.Cfg)
 		aud := NewAuditor(w.Procs)
-		res := harness.RunTraced(w.Params(), harness.NewProtocol(k, 2), prog, aud)
+		res := harness.RunFaultTraced(w.Params(), harness.NewProtocol(k, 2), prog, aud, fcfg)
 		run := ProtocolRun{
 			Kind:       k,
 			Deadlocked: res.Deadlocked,
@@ -133,13 +153,25 @@ func RunSeed(seed uint64, procs int, kinds []harness.ProtocolKind) *Report {
 	return RunWorkload(Generate(seed, procs), kinds)
 }
 
+// RunSeedFault is RunSeed under an injected fault schedule (nil = none).
+func RunSeedFault(seed uint64, procs int, kinds []harness.ProtocolKind, fcfg *fault.Config) *Report {
+	return RunWorkloadFault(Generate(seed, procs), kinds, fcfg)
+}
+
 // Shrink replays reduced variants of a failing workload — same seed,
 // smaller shape — and returns the smallest variant that still fails
 // together with the number of replays spent. Shrinking by seed replay
 // keeps every repro a one-liner: the minimal workload is still fully
 // described by (seed, overridden shape).
 func Shrink(w Workload, kinds []harness.ProtocolKind, budget int) (*Report, int) {
-	best := RunWorkload(w, kinds)
+	return ShrinkFault(w, kinds, budget, nil)
+}
+
+// ShrinkFault is Shrink with the failing run's fault schedule replayed on
+// every reduced variant, so fault-dependent failures keep reproducing
+// while they shrink.
+func ShrinkFault(w Workload, kinds []harness.ProtocolKind, budget int, fcfg *fault.Config) (*Report, int) {
+	best := RunWorkloadFault(w, kinds, fcfg)
 	spent := 1
 	if !best.Failed() {
 		return best, spent
@@ -150,7 +182,7 @@ func Shrink(w Workload, kinds []harness.ProtocolKind, budget int) (*Report, int)
 			if spent >= budget {
 				break
 			}
-			rep := RunWorkload(cand, kinds)
+			rep := RunWorkloadFault(cand, kinds, fcfg)
 			spent++
 			if rep.Failed() {
 				best = rep

@@ -1,0 +1,132 @@
+package check
+
+import (
+	"testing"
+
+	"aecdsm/internal/apps"
+	"aecdsm/internal/fault"
+	"aecdsm/internal/harness"
+	"aecdsm/internal/stats"
+)
+
+func mustSpec(t *testing.T, spec string, seed uint64) *fault.Config {
+	t.Helper()
+	c, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Seed = seed
+	return &c
+}
+
+// TestFaultedProtocolsAgree is the hardened differential property: under
+// an injected fault schedule, AEC, TreadMarks, Munin and the ideal
+// protocol must still verify, audit clean, and produce bit-identical
+// barrier-phase checksums. The nightly fuzz job extends this to hundreds
+// of seeds; see .github/workflows/ci.yml.
+func TestFaultedProtocolsAgree(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		fc := mustSpec(t, "light", 1000+seed)
+		rep := RunSeedFault(seed, 0, DefaultProtocols(), fc)
+		if rep.Failed() {
+			small, spent := ShrinkFault(rep.Workload, DefaultProtocols(), 32, fc)
+			t.Fatalf("seed %d failed under faults (shrunk in %d replays):\n%s", seed, spent, small)
+		}
+	}
+}
+
+// TestHeavyFaultsStillAgree pushes the full protocol set through the
+// heavy preset on a few seeds.
+func TestHeavyFaultsStillAgree(t *testing.T) {
+	seeds := []uint64{2, 7, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		if rep := RunSeedFault(seed, 0, AllProtocols(), mustSpec(t, "heavy", 55+seed)); rep.Failed() {
+			t.Fatalf("seed %d failed under heavy faults:\n%s", seed, rep)
+		}
+	}
+}
+
+// TestFaultedChecksumsMatchFaultFree: faults may change timing, but never
+// results — every protocol's final and per-phase checksums under
+// injection must equal the fault-free run of the same workload.
+func TestFaultedChecksumsMatchFaultFree(t *testing.T) {
+	seeds := []uint64{3, 9}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		clean := RunSeed(seed, 0, DefaultProtocols())
+		faulty := RunSeedFault(seed, 0, DefaultProtocols(), mustSpec(t, "heavy", seed))
+		if clean.Failed() || faulty.Failed() {
+			t.Fatalf("seed %d: unexpected failure\nclean:\n%s\nfaulty:\n%s", seed, clean, faulty)
+		}
+		for i := range clean.Runs {
+			c, f := clean.Runs[i], faulty.Runs[i]
+			if c.Final != f.Final {
+				t.Fatalf("seed %d %s: faulted final %016x != fault-free %016x",
+					seed, c.Kind, f.Final, c.Final)
+			}
+			if len(c.Phases) != len(f.Phases) {
+				t.Fatalf("seed %d %s: phase count changed under faults", seed, c.Kind)
+			}
+			for p := range c.Phases {
+				if c.Phases[p] != f.Phases[p] {
+					t.Fatalf("seed %d %s phase %d: faulted %016x != fault-free %016x",
+						seed, c.Kind, p, f.Phases[p], c.Phases[p])
+				}
+			}
+		}
+	}
+}
+
+// TestFaultedRunsDeterministic: one (workload seed, fault seed) pair is
+// one run — replaying it reproduces every checksum exactly.
+func TestFaultedRunsDeterministic(t *testing.T) {
+	fc := mustSpec(t, "heavy", 17)
+	a := RunSeedFault(5, 0, DefaultProtocols(), fc)
+	b := RunSeedFault(5, 0, DefaultProtocols(), fc)
+	if a.Failed() || b.Failed() {
+		t.Fatalf("unexpected failure:\n%s\n%s", a, b)
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Final != b.Runs[i].Final {
+			t.Fatalf("%s: replay diverged: %016x vs %016x",
+				a.Runs[i].Kind, a.Runs[i].Final, b.Runs[i].Final)
+		}
+	}
+}
+
+// TestLAPFallback forces the degraded-mode LAP path: with every
+// best-effort push dropped, AEC acquirers must time out waiting for the
+// predicted update, fall back to explicit home-based fetches, and still
+// compute the fault-free answer.
+func TestLAPFallback(t *testing.T) {
+	w := Generate(21, 8)
+	prog := apps.NewSynth(w.Cfg)
+	clean := harness.RunTraced(w.Params(), harness.NewProtocol(harness.ProtoAEC, 2), prog, nil)
+	if clean.Deadlocked || clean.VerifyErr != nil {
+		t.Fatalf("fault-free run failed: deadlock=%v err=%v", clean.Deadlocked, clean.VerifyErr)
+	}
+	want := prog.FinalChecksum()
+
+	fc := &fault.Config{Seed: 4, Drop: 1, RTO: 2000, MaxAttempts: 2}
+	prog2 := apps.NewSynth(w.Cfg)
+	faulty := harness.RunFaultTraced(w.Params(), harness.NewProtocol(harness.ProtoAEC, 2), prog2, nil, fc)
+	if faulty.Deadlocked || faulty.VerifyErr != nil {
+		t.Fatalf("faulted run failed: deadlock=%v err=%v", faulty.Deadlocked, faulty.VerifyErr)
+	}
+	fallbacks := faulty.Run.Sum(func(p *stats.Proc) uint64 { return p.LAPFallbacks })
+	if fallbacks == 0 {
+		t.Fatal("no LAP fallbacks despite every eager push being dropped")
+	}
+	if got := prog2.FinalChecksum(); got != want {
+		t.Fatalf("degraded-mode LAP changed the answer: %016x != %016x", got, want)
+	}
+}

@@ -1,0 +1,356 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulated network of workstations. It interposes on the simulator's
+// message path (aecdsm/internal/sim) and the mesh interconnect
+// (aecdsm/internal/network) and injects the failure modes a real LAN
+// exhibits — message loss, duplication, bounded extra delay, transient
+// link degradation, and node stalls — from a per-run RNG derived from the
+// experiment seed, so every faulty run replays exactly.
+//
+// The package is a leaf: it imports nothing from the repo, so both the
+// engine and the network can hold an *Injector without import cycles. It
+// carries its own xorshift generator (the same construction as
+// apps.NewRand) for the same reason.
+//
+// Determinism contract: the simulator is single-threaded (at most one of
+// {engine, processor goroutine} runs at any instant), so injector draws
+// happen in a reproducible order; given equal Config (including Seed) two
+// runs make identical decisions. See docs/ROBUSTNESS.md.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Config is one fault schedule: the per-message and per-link failure
+// probabilities plus the recovery-protocol timing knobs. The zero value
+// injects nothing (but still routes messages through the reliable
+// transport); a nil *Config elsewhere in the stack means faults are
+// compiled out of the run entirely.
+type Config struct {
+	// Seed derives the injector's RNG. Zero is replaced by a fixed
+	// nonzero constant so the zero Config is still usable.
+	Seed uint64
+
+	// Drop is the per-transmission probability that a message vanishes
+	// in the network. Reliable messages are retransmitted until acked;
+	// best-effort messages (LAP eager pushes) stay lost.
+	Drop float64
+	// Dup is the per-transmission probability that the network delivers
+	// a second copy of a message (suppressed by receiver-side dedup).
+	Dup float64
+	// Delay is the per-transmission probability of extra network delay,
+	// uniform in [1, DelayMax] cycles.
+	Delay    float64
+	DelayMax uint64
+	// Stall is the per-delivery probability that the destination node
+	// stalls (OS hiccup) for a uniform [1, StallMax] cycles before it
+	// can service anything.
+	Stall    float64
+	StallMax uint64
+	// Degrade is the per-transfer probability that the (source,
+	// destination) pair enters a degraded window: for DegradeWindow
+	// cycles every transfer between the pair pays DegradeExtra extra
+	// cycles (a congested or flaky route).
+	Degrade       float64
+	DegradeWindow uint64
+	DegradeExtra  uint64
+
+	// RTO is the initial retransmission timeout in virtual cycles; it
+	// doubles per attempt (capped). Zero selects DefaultRTO.
+	RTO uint64
+	// MaxAttempts bounds adversarial loss: once a reliable message
+	// reaches this attempt number, neither it nor its ack is dropped
+	// any more, so delivery is guaranteed. Zero selects
+	// DefaultMaxAttempts.
+	MaxAttempts int
+}
+
+// Defaults for the recovery-timing knobs.
+const (
+	DefaultRTO         = 40000 // ~4 interrupt times: a generous virtual RTT
+	DefaultMaxAttempts = 8
+	rtoBackoffCap      = 6 // exponential backoff stops doubling after 2^6
+)
+
+// rto returns the retransmission timeout for the given attempt number
+// (1-based) with exponential backoff.
+func (c *Config) rto(attempt int) uint64 {
+	base := c.RTO
+	if base == 0 {
+		base = DefaultRTO
+	}
+	shift := attempt - 1
+	if shift > rtoBackoffCap {
+		shift = rtoBackoffCap
+	}
+	return base << uint(shift)
+}
+
+func (c *Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return c.MaxAttempts
+}
+
+// Presets name commonly used schedules for the -faults flag.
+var Presets = map[string]string{
+	"light": "drop=0.01,dup=0.005,delay=0.02:2000,stall=0.002:4000,degrade=0.005:20000:50",
+	"heavy": "drop=0.05,dup=0.02,delay=0.05:8000,stall=0.01:20000,degrade=0.02:50000:200",
+}
+
+// ParseSpec parses a fault schedule specification: either a preset name
+// ("light", "heavy") or a comma-separated list of clauses
+//
+//	drop=P  dup=P  delay=P:MAXCY  stall=P:MAXCY  degrade=P:WINDOWCY:EXTRACY
+//	rto=CYCLES  maxattempts=N
+//
+// e.g. "drop=0.01,dup=0.005,delay=0.02:2000". Probabilities are in [0,1].
+// The returned Config has Seed zero; callers set it from their -fault-seed.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if p, ok := Presets[strings.ToLower(strings.TrimSpace(spec))]; ok {
+		spec = p
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return c, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		parts := strings.Split(val, ":")
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil || p < 0 || p > 1 {
+				return 0, fmt.Errorf("fault: %s wants a probability in [0,1], got %q", key, parts[0])
+			}
+			return p, nil
+		}
+		cycles := func(i int) (uint64, error) {
+			if i >= len(parts) {
+				return 0, fmt.Errorf("fault: %s=%s is missing its cycle argument", key, val)
+			}
+			n, err := strconv.ParseUint(parts[i], 10, 64)
+			if err != nil || n == 0 {
+				return 0, fmt.Errorf("fault: %s wants a positive cycle count, got %q", key, parts[i])
+			}
+			return n, nil
+		}
+		var err error
+		switch strings.ToLower(key) {
+		case "drop":
+			c.Drop, err = prob()
+		case "dup":
+			c.Dup, err = prob()
+		case "delay":
+			if c.Delay, err = prob(); err == nil {
+				c.DelayMax, err = cycles(1)
+			}
+		case "stall":
+			if c.Stall, err = prob(); err == nil {
+				c.StallMax, err = cycles(1)
+			}
+		case "degrade":
+			if c.Degrade, err = prob(); err == nil {
+				if c.DegradeWindow, err = cycles(1); err == nil {
+					c.DegradeExtra, err = cycles(2)
+				}
+			}
+		case "rto":
+			c.RTO, err = cycles(0)
+		case "maxattempts":
+			var n uint64
+			if n, err = cycles(0); err == nil {
+				c.MaxAttempts = int(n)
+			}
+		default:
+			err = fmt.Errorf("fault: unknown clause %q (want drop/dup/delay/stall/degrade/rto/maxattempts or a preset %v)",
+				key, presetNames())
+		}
+		if err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+func presetNames() []string {
+	// Stable order for error messages (map iteration is not deterministic).
+	return []string{"light", "heavy"}
+}
+
+// String renders the schedule in ParseSpec syntax.
+func (c Config) String() string {
+	var parts []string
+	if c.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", c.Drop))
+	}
+	if c.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", c.Dup))
+	}
+	if c.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%d", c.Delay, c.DelayMax))
+	}
+	if c.Stall > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%g:%d", c.Stall, c.StallMax))
+	}
+	if c.Degrade > 0 {
+		parts = append(parts, fmt.Sprintf("degrade=%g:%d:%d", c.Degrade, c.DegradeWindow, c.DegradeExtra))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// SendDecision is the injector's verdict for one message transmission.
+type SendDecision struct {
+	Drop       bool
+	Dup        bool
+	ExtraDelay uint64
+}
+
+// Counts snapshots what the injector has done so far.
+type Counts struct {
+	Drops, Dups, Delays, Stalls, DegradeWindows uint64
+}
+
+// Injector makes the per-message fault decisions for one run. It is not
+// safe for concurrent use; the simulator's single-runner discipline
+// guarantees serial access.
+type Injector struct {
+	cfg Config
+	rng uint64
+
+	// degradedUntil maps a directed (from, to) pair to the end of its
+	// current degraded window.
+	degradedUntil map[[2]int]uint64
+
+	counts Counts
+}
+
+// New builds the injector for one run from the schedule. The injector's
+// RNG is derived from cfg.Seed via a splitmix64 scramble, so structurally
+// different schedules with the same seed still decorrelate.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5DEECE66D
+	}
+	// splitmix64 finalizer: decorrelate adjacent seeds.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return &Injector{cfg: cfg, rng: z, degradedUntil: map[[2]int]uint64{}}
+}
+
+// next is the xorshift64* step (same construction as apps.Rand).
+func (in *Injector) next() uint64 {
+	in.rng ^= in.rng >> 12
+	in.rng ^= in.rng << 25
+	in.rng ^= in.rng >> 27
+	return in.rng * 0x2545F4914F6CDD1D
+}
+
+// chance draws a Bernoulli trial with probability p.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(in.next()>>11)/(1<<53) < p
+}
+
+// cyclesIn draws uniformly in [1, max] (0 when max is 0).
+func (in *Injector) cyclesIn(max uint64) uint64 {
+	if max == 0 {
+		return 0
+	}
+	return 1 + in.next()%max
+}
+
+// OnSend decides the fate of one transmission (attempt is 1-based;
+// retransmissions pass their attempt number). reliable transmissions stop
+// being dropped once attempt reaches MaxAttempts, which bounds recovery:
+// by then both the message and its ack go through.
+func (in *Injector) OnSend(now uint64, from, to, attempt int, reliable bool) SendDecision {
+	var d SendDecision
+	if in.chance(in.cfg.Drop) && !(reliable && attempt >= in.cfg.maxAttempts()) {
+		d.Drop = true
+		in.counts.Drops++
+	}
+	if in.chance(in.cfg.Dup) {
+		d.Dup = true
+		in.counts.Dups++
+	}
+	if in.chance(in.cfg.Delay) {
+		d.ExtraDelay = in.cyclesIn(in.cfg.DelayMax)
+		in.counts.Delays++
+	}
+	return d
+}
+
+// OnDeliver decides whether the destination node stalls before servicing,
+// returning the stall length in cycles (0 = no stall).
+func (in *Injector) OnDeliver(now uint64, to int) uint64 {
+	if !in.chance(in.cfg.Stall) {
+		return 0
+	}
+	in.counts.Stalls++
+	return in.cyclesIn(in.cfg.StallMax)
+}
+
+// OnLink is called per network transfer with the directed endpoint pair;
+// it returns extra cycles the transfer pays while the pair's route is in a
+// degraded window (possibly opening a new window).
+func (in *Injector) OnLink(now uint64, from, to int) uint64 {
+	if in.cfg.Degrade <= 0 || from == to {
+		return 0
+	}
+	key := [2]int{from, to}
+	if until, ok := in.degradedUntil[key]; ok && now < until {
+		return in.cfg.DegradeExtra
+	}
+	if in.chance(in.cfg.Degrade) {
+		in.degradedUntil[key] = now + in.cfg.DegradeWindow
+		in.counts.DegradeWindows++
+		return in.cfg.DegradeExtra
+	}
+	return 0
+}
+
+// RTO returns the retransmission timeout for the given attempt (1-based),
+// with exponential backoff.
+func (in *Injector) RTO(attempt int) uint64 { return in.cfg.rto(attempt) }
+
+// MaxAttempts returns the bound after which reliable traffic stops being
+// dropped.
+func (in *Injector) MaxAttempts() int { return in.cfg.maxAttempts() }
+
+// PushTimeout is how long an acquirer waits for a predicted eager push
+// before falling back to explicit fetches: long enough that an in-flight
+// (possibly delayed) push usually lands, short enough not to dominate the
+// acquire when the push was lost. Pushes are best-effort (never
+// retransmitted), so waiting longer than one delayed flight is pointless.
+func (in *Injector) PushTimeout() uint64 {
+	base := in.cfg.RTO
+	if base == 0 {
+		base = DefaultRTO
+	}
+	return 2*base + in.cfg.DelayMax
+}
+
+// Counts returns a snapshot of the injector's decision counters.
+func (in *Injector) Counts() Counts { return in.counts }
+
+func (in *Injector) String() string {
+	return fmt.Sprintf("faults{%s seed=%#x}", in.cfg.String(), in.cfg.Seed)
+}

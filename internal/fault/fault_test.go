@@ -1,0 +1,199 @@
+package fault
+
+import "testing"
+
+func TestParseSpecClauses(t *testing.T) {
+	c, err := ParseSpec("drop=0.05,dup=0.02,delay=0.1:8000,stall=0.01:20000,degrade=0.02:50000:200,rto=5000,maxattempts=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Drop != 0.05 || c.Dup != 0.02 {
+		t.Fatalf("drop/dup wrong: %+v", c)
+	}
+	if c.Delay != 0.1 || c.DelayMax != 8000 {
+		t.Fatalf("delay wrong: %+v", c)
+	}
+	if c.Stall != 0.01 || c.StallMax != 20000 {
+		t.Fatalf("stall wrong: %+v", c)
+	}
+	if c.Degrade != 0.02 || c.DegradeWindow != 50000 || c.DegradeExtra != 200 {
+		t.Fatalf("degrade wrong: %+v", c)
+	}
+	if c.RTO != 5000 || c.MaxAttempts != 4 {
+		t.Fatalf("recovery knobs wrong: %+v", c)
+	}
+}
+
+func TestParseSpecPresets(t *testing.T) {
+	for name := range Presets {
+		c, err := ParseSpec(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if c.Drop == 0 {
+			t.Fatalf("preset %q parsed to an empty schedule", name)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",             // not key=value and not a preset
+		"drop=2",            // probability out of range
+		"drop=x",            // not a number
+		"delay=0.5",         // missing cycle bound
+		"stall=0.5:0",       // zero cycle bound
+		"degrade=0.5:100",   // missing extra cycles
+		"wibble=0.5",        // unknown clause
+		"maxattempts=never", // not a count
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", spec)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	orig, err := ParseSpec("light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", orig.String(), err)
+	}
+	if back != orig {
+		t.Fatalf("round trip changed the schedule: %+v vs %+v", orig, back)
+	}
+	var zero Config
+	if zero.String() != "none" {
+		t.Fatalf("zero schedule renders %q", zero.String())
+	}
+}
+
+// TestDeterminism is the core contract: equal Config, equal decision
+// sequence — regardless of what the decisions are.
+func TestDeterminism(t *testing.T) {
+	cfg, err := ParseSpec("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 42
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10000; i++ {
+		now := uint64(i * 13)
+		from, to := i%16, (i*7+1)%16
+		da := a.OnSend(now, from, to, 1, i%2 == 0)
+		db := b.OnSend(now, from, to, 1, i%2 == 0)
+		if da != db {
+			t.Fatalf("OnSend diverged at step %d: %+v vs %+v", i, da, db)
+		}
+		if sa, sb := a.OnDeliver(now, to), b.OnDeliver(now, to); sa != sb {
+			t.Fatalf("OnDeliver diverged at step %d: %d vs %d", i, sa, sb)
+		}
+		if la, lb := a.OnLink(now, from, to), b.OnLink(now, from, to); la != lb {
+			t.Fatalf("OnLink diverged at step %d: %d vs %d", i, la, lb)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counters diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	cfg, _ := ParseSpec("heavy")
+	cfg.Seed = 1
+	a := New(cfg)
+	cfg.Seed = 2
+	b := New(cfg)
+	same := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		if a.OnSend(0, 0, 1, 1, false) == b.OnSend(0, 0, 1, 1, false) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Fatal("adjacent seeds produced identical decision sequences")
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	in := New(Config{Seed: 3, Drop: 1, Dup: 1, Delay: 1, DelayMax: 100})
+	for i := 0; i < 100; i++ {
+		d := in.OnSend(0, 0, 1, 1, false)
+		if !d.Drop || !d.Dup || d.ExtraDelay == 0 || d.ExtraDelay > 100 {
+			t.Fatalf("p=1 decision not forced: %+v", d)
+		}
+	}
+	quiet := New(Config{Seed: 3})
+	for i := 0; i < 100; i++ {
+		if d := quiet.OnSend(0, 0, 1, 1, false); d != (SendDecision{}) {
+			t.Fatalf("zero schedule injected %+v", d)
+		}
+		if quiet.OnDeliver(0, 1) != 0 || quiet.OnLink(0, 0, 1) != 0 {
+			t.Fatal("zero schedule stalled or degraded")
+		}
+	}
+}
+
+// TestMaxAttemptsBoundsLoss: reliable traffic at the attempt bound is
+// never dropped, even under drop=1 — the liveness guarantee the
+// retransmission protocol builds on. Best-effort traffic has no such
+// floor.
+func TestMaxAttemptsBoundsLoss(t *testing.T) {
+	in := New(Config{Seed: 7, Drop: 1, MaxAttempts: 3})
+	for i := 0; i < 100; i++ {
+		if !in.OnSend(0, 0, 1, 2, true).Drop {
+			t.Fatal("below the bound, reliable traffic should drop at p=1")
+		}
+		if in.OnSend(0, 0, 1, 3, true).Drop {
+			t.Fatal("at the bound, reliable traffic must never drop")
+		}
+		if !in.OnSend(0, 0, 1, 99, false).Drop {
+			t.Fatal("best-effort traffic has no attempt floor")
+		}
+	}
+}
+
+func TestRTOBackoff(t *testing.T) {
+	in := New(Config{RTO: 1000})
+	want := []uint64{1000, 2000, 4000, 8000, 16000, 32000, 64000, 64000, 64000}
+	for i, w := range want {
+		if got := in.RTO(i + 1); got != w {
+			t.Fatalf("RTO(attempt %d) = %d, want %d", i+1, got, w)
+		}
+	}
+	def := New(Config{})
+	if def.RTO(1) != DefaultRTO {
+		t.Fatalf("default RTO = %d, want %d", def.RTO(1), DefaultRTO)
+	}
+	if def.MaxAttempts() != DefaultMaxAttempts {
+		t.Fatalf("default MaxAttempts = %d", def.MaxAttempts())
+	}
+	if def.PushTimeout() < 2*DefaultRTO {
+		t.Fatalf("PushTimeout %d should cover two RTOs", def.PushTimeout())
+	}
+}
+
+func TestDegradeWindows(t *testing.T) {
+	in := New(Config{Seed: 5, Degrade: 1, DegradeWindow: 1000, DegradeExtra: 77})
+	if got := in.OnLink(0, 0, 1); got != 77 {
+		t.Fatalf("opening transfer pays %d, want 77", got)
+	}
+	// Inside the window every transfer on the pair pays, with no new draw.
+	if got := in.OnLink(999, 0, 1); got != 77 {
+		t.Fatalf("in-window transfer pays %d, want 77", got)
+	}
+	// The reverse direction is an independent pair.
+	if got := in.OnLink(0, 1, 0); got != 77 {
+		t.Fatalf("reverse pair pays %d, want 77", got)
+	}
+	// Local transfers never degrade.
+	if got := in.OnLink(0, 3, 3); got != 0 {
+		t.Fatalf("local transfer pays %d, want 0", got)
+	}
+	if in.Counts().DegradeWindows < 2 {
+		t.Fatalf("expected two windows, got %+v", in.Counts())
+	}
+}

@@ -6,6 +6,7 @@ package harness
 import (
 	"fmt"
 
+	"aecdsm/internal/fault"
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
@@ -47,6 +48,15 @@ func Run(params memsys.Params, pr proto.Protocol, prog proto.Program) *Result {
 // and the simulated cycle counts are identical either way — tracing never
 // charges simulated time.
 func RunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer) *Result {
+	return RunFaultTraced(params, pr, prog, tr, nil)
+}
+
+// RunFaultTraced is RunTraced with deterministic fault injection: a
+// non-nil fcfg arms the injector and the reliable transport before the
+// protocol attaches (see aecdsm/internal/fault and docs/ROBUSTNESS.md). A
+// nil fcfg is exactly RunTraced — the fault hooks stay dormant behind
+// their nil checks and the simulated cycle counts are byte-identical.
+func RunFaultTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer, fcfg *fault.Config) *Result {
 	space := mem.NewSpace(params.PageSize)
 	prog.Init(space, params.NumProcs)
 	if nl, ok := pr.(proto.NumLocksProvider); ok {
@@ -55,6 +65,9 @@ func RunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr t
 
 	run := stats.NewRun(prog.Name(), pr.Name(), params.NumProcs)
 	eng := sim.New(params, run)
+	if fcfg != nil {
+		eng.EnableFaults(*fcfg)
+	}
 	// The tracer must be in place before Attach so protocols can wire
 	// their per-lock predictors (and any other sub-tracers) off it.
 	eng.Tracer = tr

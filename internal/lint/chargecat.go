@@ -27,7 +27,7 @@ var Chargecat = &analysis.Analyzer{
 // charge with a literal constant. Passing a Category variable through is
 // always fine: the literal is checked where it enters.
 var allowedCats = map[string][]string{
-	"sim":     {"Busy", "Data", "Synch", "IPC", "Others"},
+	"sim":     {"Busy", "Data", "Synch", "IPC", "Others", "Recovery"},
 	"proto":   {"Busy", "Data", "Synch", "Others"},
 	"aec":     {"Data", "Synch"},
 	"tm":      {"Data", "Synch"},
@@ -37,18 +37,20 @@ var allowedCats = map[string][]string{
 	"mem":     {},
 	"memsys":  {},
 	"network": {},
+	"fault":   {}, // the injector decides fates; the engine does the charging
 }
 
 var chargecatScope = append([]string{"apps"}, protocolScope...)
 
 // categoryTakers are the methods whose stats.Category argument is audited.
 var categoryTakers = map[string]bool{
-	"Advance":   true,
-	"Block":     true,
-	"WaitUntil": true,
-	"SendFrom":  true,
-	"Add":       true,
-	"Compute":   true, // takes no Category today; listed for future-proofing
+	"Advance":            true,
+	"Block":              true,
+	"WaitUntil":          true,
+	"SendFrom":           true,
+	"SendFromBestEffort": true,
+	"Add":                true,
+	"Compute":            true, // takes no Category today; listed for future-proofing
 }
 
 func runChargecat(pass *analysis.Pass) (any, error) {

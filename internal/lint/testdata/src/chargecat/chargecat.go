@@ -29,6 +29,20 @@ func passThroughVariableOK(p *sim.Proc, cat stats.Category) {
 	p.Advance(10, cat)
 }
 
+func chargesRecovery(p *sim.Proc) {
+	// Recovery belongs to the engine's reliable transport, never to a
+	// protocol layer.
+	p.Advance(10, stats.Recovery) // want `stats\.Recovery is not a category this layer may charge`
+}
+
+func bestEffortSendWrongCat(e *sim.Engine, p *sim.Proc) {
+	e.SendFromBestEffort(p, stats.Busy, 1, 1, 8, nil, nil) // want `stats\.Busy is not a category this layer may charge`
+}
+
+func bestEffortSendOK(e *sim.Engine, p *sim.Proc) {
+	e.SendFromBestEffort(p, stats.Synch, 1, 1, 8, nil, nil)
+}
+
 func handlerNoCharge(s *sim.Svc, m *sim.Msg) {
 	s.Send(m.From, 1, 8, nil, nil) // want `handlerNoCharge sends a message without charging any service cycles`
 }

@@ -73,3 +73,8 @@ type Engine struct {
 // SendFrom sends a message from processor context, charging cat.
 func (e *Engine) SendFrom(p *Proc, cat stats.Category, to, kind, size int, payload any, h Handler) {
 }
+
+// SendFromBestEffort is SendFrom for loss-tolerant traffic: no ack, no
+// retransmission under fault injection.
+func (e *Engine) SendFromBestEffort(p *Proc, cat stats.Category, to, kind, size int, payload any, h Handler) {
+}

@@ -12,11 +12,12 @@ const (
 	Synch
 	IPC
 	Others
+	Recovery
 )
 
 // Breakdown accumulates cycles per category.
 type Breakdown struct {
-	Cycles [5]uint64
+	Cycles [6]uint64
 }
 
 // Add charges n cycles to cat.

@@ -12,6 +12,7 @@ package network
 import (
 	"fmt"
 
+	"aecdsm/internal/fault"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/trace"
 )
@@ -28,15 +29,29 @@ type Mesh struct {
 	// linkFree[l] is the time unidirectional link l becomes free.
 	linkFree []uint64
 
+	// scratch is the reusable path buffer for route: Transfer is on the
+	// per-message hot path and must not allocate. Safe because the
+	// simulator's single-runner discipline serializes all Transfers.
+	scratch []int
+
 	// Statistics.
 	Messages   uint64
 	BytesMoved uint64
 	HopsTotal  uint64
 	WaitCycles uint64
+	// DegradedCycles is the extra latency paid inside injected
+	// link-degradation windows (zero unless fault injection is on).
+	DegradedCycles uint64
 
 	// Tracer, when non-nil, receives one KindNetTransfer event per
 	// message with the link-contention wait it suffered.
 	Tracer trace.Tracer
+
+	// Faults, when non-nil, injects transient link degradation: a
+	// degraded (source, destination) pair pays extra cycles per transfer
+	// for the length of the window. Nil costs one branch per Transfer,
+	// so fault-free runs are unperturbed.
+	Faults *fault.Injector
 }
 
 // NewMesh builds the mesh described by the parameter set.
@@ -50,6 +65,7 @@ func NewMesh(p memsys.Params) *Mesh {
 		// Four outgoing directions per node is an upper bound on the
 		// number of unidirectional links we index.
 		linkFree: make([]uint64, p.MeshW*p.MeshH*4),
+		scratch:  make([]int, 0, p.MeshW+p.MeshH),
 	}
 }
 
@@ -121,7 +137,14 @@ func (m *Mesh) Transfer(now uint64, from, to, bytes int) uint64 {
 	flits := uint64(m.Flits(bytes))
 	bodyCy := (flits - 1) * m.wireCy
 	t := now // time the header is ready to enter the next link
-	path := m.route(make([]int, 0, m.w+m.h), from, to)
+	if m.Faults != nil {
+		if extra := m.Faults.OnLink(now, from, to); extra > 0 {
+			m.DegradedCycles += extra
+			t += extra
+		}
+	}
+	path := m.route(m.scratch[:0], from, to)
+	m.scratch = path
 	m.HopsTotal += uint64(len(path))
 	var waited uint64
 	for _, l := range path {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"aecdsm/internal/fault"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/network"
 	"aecdsm/internal/stats"
@@ -26,6 +27,13 @@ type Engine struct {
 	// costs one branch.
 	Tracer trace.Tracer
 
+	// Faults, when non-nil, injects deterministic message/node faults and
+	// switches the message path onto the reliable transport (sequence
+	// numbers, dedup, ack/retransmit — see reliable.go). Nil means the
+	// exact pre-fault message path runs: zero perturbation. Set it with
+	// EnableFaults before Start.
+	Faults *fault.Injector
+
 	now      Time
 	seq      uint64
 	events   eventHeap
@@ -36,6 +44,9 @@ type Engine struct {
 	Deadlocked bool
 
 	bodies []func(*Proc)
+
+	// rel is the reliable-transport state, allocated by EnableFaults.
+	rel *reliability
 }
 
 // New builds an engine for the given parameters. Run statistics are
@@ -72,6 +83,26 @@ func New(p memsys.Params, run *stats.Run) *Engine {
 
 // Now returns current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// EnableFaults arms deterministic fault injection for this run: builds
+// the injector from the schedule, hands it to the mesh for link
+// degradation, and switches every remote message onto the reliable
+// transport. Must be called before Start.
+func (e *Engine) EnableFaults(cfg fault.Config) {
+	e.Faults = fault.New(cfg)
+	e.Net.Faults = e.Faults
+	e.rel = newReliability()
+}
+
+// At schedules fn to run at the given virtual time (or now, if at is in
+// the past). Protocols use it for recovery timeouts; fn runs in engine
+// context, so it may Wake processors but must not block.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.schedule(at, fn)
+}
 
 // Spawn registers the application body for processor id. All bodies must
 // be registered before Start.

@@ -13,6 +13,15 @@ type Msg struct {
 	Payload  any
 	SentAt   Time
 	ArriveAt Time
+
+	// Reliable-transport bookkeeping, used only when fault injection is
+	// enabled (engine.rel != nil): per-(sender,receiver) sequence number,
+	// 1-based transmission attempt, and whether the message is acked and
+	// retransmitted (reliable) or fire-and-forget (best effort).
+	seq      uint64
+	attempt  int
+	reliable bool
+	tracked  bool
 }
 
 // Handler services a delivered message on the destination node. It runs in
@@ -56,7 +65,18 @@ func (s *Svc) Wake(p *Proc) { p.Wake(s.Now) }
 // destination node in service context.
 func (e *Engine) SendFrom(p *Proc, cat stats.Category, to, kind, bytes int, payload any, h Handler) {
 	before := p.Clock
-	after := e.sendAt(p, p.Clock, to, kind, bytes, payload, h)
+	after := e.sendOpt(p, p.Clock, to, kind, bytes, payload, h, true)
+	p.Advance(after-before, cat)
+}
+
+// SendFromBestEffort is SendFrom for traffic that tolerates loss (LAP
+// eager pushes): under fault injection the message gets no ack and is
+// never retransmitted, so a drop silently loses it — the receiving
+// protocol must have a fallback. Without fault injection it is exactly
+// SendFrom.
+func (e *Engine) SendFromBestEffort(p *Proc, cat stats.Category, to, kind, bytes int, payload any, h Handler) {
+	before := p.Clock
+	after := e.sendOpt(p, p.Clock, to, kind, bytes, payload, h, false)
 	p.Advance(after-before, cat)
 }
 
@@ -64,6 +84,14 @@ func (e *Engine) SendFrom(p *Proc, cat stats.Category, to, kind, bytes int, payl
 // sender, wormhole network transfer, then a delivery event at the
 // destination. It returns the time the sender is free to continue.
 func (e *Engine) sendAt(from *Proc, now Time, to, kind, bytes int, payload any, h Handler) Time {
+	return e.sendOpt(from, now, to, kind, bytes, payload, h, true)
+}
+
+// sendOpt is sendAt plus the reliability class. With fault injection off
+// (or a local delivery, which cannot be lost) the path is exactly the
+// historical one; with it on, remote messages detour through the reliable
+// transport in reliable.go.
+func (e *Engine) sendOpt(from *Proc, now Time, to, kind, bytes int, payload any, h Handler, reliable bool) Time {
 	pp := &e.Params
 	size := bytes + pp.MsgHeaderBytes
 	from.Stats.MsgsSent++
@@ -79,9 +107,14 @@ func (e *Engine) sendAt(from *Proc, now Time, to, kind, bytes int, payload any, 
 		// DMA the message across the sender's I/O bus.
 		senderDone = from.IOBus.Transfer(senderDone, pp.Words(size))
 	}
-	arrive := e.Net.Transfer(senderDone, from.ID, to, size)
 	m := &Msg{From: from.ID, To: to, Kind: kind, Bytes: bytes,
-		Payload: payload, SentAt: now, ArriveAt: arrive}
+		Payload: payload, SentAt: now}
+	if e.rel != nil && to != from.ID {
+		e.relSend(m, h, size, senderDone, reliable)
+		return senderDone
+	}
+	arrive := e.Net.Transfer(senderDone, from.ID, to, size)
+	m.ArriveAt = arrive
 	e.schedule(arrive, func() { e.deliver(m, h) })
 	return senderDone
 }

@@ -53,6 +53,12 @@ type Proc struct {
 	// the next advance and charged to IPC.
 	stolen uint64
 
+	// stolenRec accumulates fault-recovery cycles (acks, retransmits,
+	// duplicate suppression) that preempted the running processor; folded
+	// into the clock at the next advance and charged to Recovery. Always
+	// zero when fault injection is off.
+	stolenRec uint64
+
 	// svcBusyUntil serializes back-to-back message service on this node.
 	svcBusyUntil Time
 
@@ -70,6 +76,11 @@ func (p *Proc) Advance(cycles uint64, cat stats.Category) {
 		p.Stats.Breakdown.Add(stats.IPC, p.stolen)
 		p.stolen = 0
 	}
+	if p.stolenRec > 0 {
+		p.Clock += p.stolenRec
+		p.Stats.Breakdown.Add(stats.Recovery, p.stolenRec)
+		p.stolenRec = 0
+	}
 	p.Clock += cycles
 	p.Stats.Breakdown.Add(cat, cycles)
 	if p.Clock >= p.horizon {
@@ -84,6 +95,11 @@ func (p *Proc) Checkpoint() {
 		p.Clock += p.stolen
 		p.Stats.Breakdown.Add(stats.IPC, p.stolen)
 		p.stolen = 0
+	}
+	if p.stolenRec > 0 {
+		p.Clock += p.stolenRec
+		p.Stats.Breakdown.Add(stats.Recovery, p.stolenRec)
+		p.stolenRec = 0
 	}
 	if p.Clock >= p.horizon {
 		p.pause()
@@ -150,5 +166,10 @@ func (p *Proc) Blocked() bool { return p.blocked }
 
 // Steal records interrupt service cycles preempting a running processor.
 func (p *Proc) Steal(cycles uint64) { p.stolen += cycles }
+
+// StealRecovery records fault-recovery cycles (ack sends, retransmits,
+// duplicate suppression) preempting a running processor; they are charged
+// to the Recovery category at the next advance.
+func (p *Proc) StealRecovery(cycles uint64) { p.stolenRec += cycles }
 
 func (p *Proc) String() string { return fmt.Sprintf("P%d@%d", p.ID, p.Clock) }

@@ -1,0 +1,266 @@
+package sim
+
+// Reliable transport: the protocol-hardening layer that runs when fault
+// injection is enabled (Engine.EnableFaults). Every remote message gets a
+// per-(sender,receiver) sequence number; the receiver suppresses duplicate
+// deliveries (so every protocol handler is effectively idempotent — it
+// runs at most once per logical message, no matter how often the network
+// repeats it); reliable messages are acknowledged, and unacked ones are
+// retransmitted with exponential backoff in virtual cycles.
+//
+// Recovery work is real work: retransmissions and acks occupy the node's
+// message-service window (svcBusyUntil) and are charged to the Recovery
+// category — stolen from the running computation, or recorded as hidden
+// when they overlap an existing stall — so hardened runs report what fault
+// tolerance costs, separately from the paper's ipc category.
+//
+// Liveness: the injector never drops a reliable transmission (or the ack
+// it triggers) once its attempt number reaches MaxAttempts, and backoff
+// eventually exceeds the round trip, so every reliable message is
+// delivered and acked after boundedly many attempts. Best-effort traffic
+// (LAP eager pushes) gets sequence numbers and dedup but no ack or
+// retransmission: a dropped push stays lost, and the AEC acquirer times
+// out and falls back to explicit fetches (degraded-mode LAP).
+//
+// When Engine.rel is nil none of this code runs and the message path is
+// byte-for-byte the historical one: zero perturbation.
+
+import "aecdsm/internal/trace"
+
+// ackBytes is the payload size of a transport-level acknowledgement.
+const ackBytes = 16
+
+type pairKey struct{ from, to int }
+
+type seqKey struct {
+	from, to int
+	seq      uint64
+}
+
+// pendingTx is one unacked reliable message at its sender.
+type pendingTx struct {
+	m       *Msg
+	h       Handler
+	size    int // wire size including header
+	attempt int
+	acked   bool
+}
+
+// reliability is the per-run transport state.
+type reliability struct {
+	nextSeq map[pairKey]uint64
+	seen    map[seqKey]bool
+	pending map[seqKey]*pendingTx
+}
+
+func newReliability() *reliability {
+	return &reliability{
+		nextSeq: map[pairKey]uint64{},
+		seen:    map[seqKey]bool{},
+		pending: map[seqKey]*pendingTx{},
+	}
+}
+
+// relSend enters a freshly sent remote message into the transport:
+// assigns its sequence number, registers it for retransmission if
+// reliable, and attempts the first transmission.
+func (e *Engine) relSend(m *Msg, h Handler, size int, ready Time, reliable bool) {
+	k := pairKey{m.From, m.To}
+	e.rel.nextSeq[k]++
+	m.seq = e.rel.nextSeq[k]
+	m.attempt = 1
+	m.reliable = reliable
+	m.tracked = true
+	if reliable {
+		e.rel.pending[seqKey{m.From, m.To, m.seq}] =
+			&pendingTx{m: m, h: h, size: size, attempt: 1}
+	}
+	e.transmit(m, h, size, ready)
+}
+
+// transmit performs one transmission attempt of a tracked message: asks
+// the injector for its fate, reserves the network for each surviving
+// copy, and (for reliable messages) arms the retransmission timer.
+func (e *Engine) transmit(m *Msg, h Handler, size int, ready Time) {
+	dec := e.Faults.OnSend(ready, m.From, m.To, m.attempt, m.reliable)
+	if m.reliable {
+		e.armRetransmit(seqKey{m.From, m.To, m.seq}, m.attempt, ready)
+	}
+	if dec.Drop {
+		e.Procs[m.From].Stats.MsgsDropped++
+		if e.Tracer != nil {
+			ev := trace.Ev(ready, m.From, trace.KindMsgDrop)
+			ev.Arg, ev.Arg2 = int64(m.To), int64(m.seq)
+			e.Tracer.Trace(ev)
+		}
+		return
+	}
+	copies := 1
+	if dec.Dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		arrive := e.Net.Transfer(ready+dec.ExtraDelay, m.From, m.To, size)
+		cp := *m
+		cp.ArriveAt = arrive
+		mc := &cp
+		e.schedule(arrive, func() { e.deliverTracked(mc, h) })
+	}
+}
+
+// armRetransmit schedules the timeout for one transmission attempt. The
+// timer is a no-op if the message has been acked by the time it fires, or
+// if a newer attempt has already superseded this one (its own timer is
+// armed).
+func (e *Engine) armRetransmit(key seqKey, attempt int, sentAt Time) {
+	at := sentAt + e.Faults.RTO(attempt)
+	e.schedule(at, func() {
+		tx := e.rel.pending[key]
+		if tx == nil || tx.acked || tx.attempt != attempt {
+			return
+		}
+		e.retransmit(key, tx, at)
+	})
+}
+
+// retransmit re-sends an unacked reliable message. The resend overhead
+// (messaging software cost + I/O bus) runs in the sender's service window
+// and is charged to Recovery: the OS-level transport preempts whatever
+// the node is doing, exactly like message service does for ipc.
+func (e *Engine) retransmit(key seqKey, tx *pendingTx, at Time) {
+	from := e.Procs[key.from]
+	pp := &e.Params
+	start := at
+	if from.svcBusyUntil > start {
+		start = from.svcBusyUntil
+	}
+	done := start + pp.MsgOverheadCycles
+	done = from.IOBus.Transfer(done, pp.Words(tx.size))
+	from.svcBusyUntil = done
+	e.chargeRecovery(from, done-start)
+
+	tx.attempt++
+	from.Stats.Retransmits++
+	from.Stats.MsgsSent++
+	from.Stats.BytesSent += uint64(tx.size)
+	if e.Tracer != nil {
+		ev := trace.Ev(start, key.from, trace.KindMsgRetry)
+		ev.Arg, ev.Arg2 = int64(key.to), int64(tx.attempt)
+		e.Tracer.Trace(ev)
+	}
+	m := *tx.m
+	m.attempt = tx.attempt
+	m.SentAt = start
+	e.transmit(&m, tx.h, tx.size, done)
+}
+
+// deliverTracked is the receive side of the transport: injected node
+// stalls first, then duplicate suppression, then ack, then the normal
+// delivery path (which runs the protocol handler exactly once per
+// sequence number).
+func (e *Engine) deliverTracked(m *Msg, h Handler) {
+	p := e.Procs[m.To]
+	pp := &e.Params
+	if stall := e.Faults.OnDeliver(m.ArriveAt, m.To); stall > 0 {
+		end := m.ArriveAt + stall
+		if p.svcBusyUntil < end {
+			p.svcBusyUntil = end
+		}
+		p.Stats.FaultStallCycles += stall
+		if e.Tracer != nil {
+			ev := trace.Ev(m.ArriveAt, m.To, trace.KindFaultStall)
+			ev.Arg = int64(stall)
+			e.Tracer.Trace(ev)
+		}
+	}
+	key := seqKey{m.From, m.To, m.seq}
+	if e.rel.seen[key] {
+		// Duplicate: the node still takes the interrupt and pulls the
+		// message across its I/O bus before it can recognize the
+		// sequence number, but the handler does not run. Re-ack in case
+		// the previous ack was lost (the sender is evidently still
+		// retransmitting).
+		start := m.ArriveAt
+		if p.svcBusyUntil > start {
+			start = p.svcBusyUntil
+		}
+		done := start + pp.InterruptCycles
+		done = p.IOBus.Transfer(done, pp.Words(m.Bytes+pp.MsgHeaderBytes))
+		p.svcBusyUntil = done
+		e.chargeRecovery(p, done-start)
+		p.Stats.DupMsgsSuppressed++
+		if e.Tracer != nil {
+			ev := trace.Ev(start, m.To, trace.KindMsgDup)
+			ev.Arg, ev.Arg2 = int64(m.From), int64(m.seq)
+			e.Tracer.Trace(ev)
+		}
+		if m.reliable {
+			e.sendAck(m)
+		}
+		return
+	}
+	e.rel.seen[key] = true
+	if m.reliable {
+		e.sendAck(m)
+	}
+	e.deliver(m, h)
+}
+
+// sendAck emits the transport acknowledgement for a delivered reliable
+// message. The ack occupies the receiver's service window (charged to
+// Recovery) and crosses the real network, so it can itself be dropped or
+// delayed — but never once the data message's attempt number has reached
+// MaxAttempts, which bounds the retransmission dance.
+func (e *Engine) sendAck(m *Msg) {
+	p := e.Procs[m.To]
+	pp := &e.Params
+	start := m.ArriveAt
+	if p.svcBusyUntil > start {
+		start = p.svcBusyUntil
+	}
+	size := ackBytes + pp.MsgHeaderBytes
+	done := start + pp.MsgOverheadCycles
+	done = p.IOBus.Transfer(done, pp.Words(size))
+	p.svcBusyUntil = done
+	e.chargeRecovery(p, done-start)
+	p.Stats.AcksSent++
+	if e.Tracer != nil {
+		ev := trace.Ev(start, m.To, trace.KindMsgAck)
+		ev.Arg, ev.Arg2 = int64(m.From), int64(m.seq)
+		e.Tracer.Trace(ev)
+	}
+
+	dec := e.Faults.OnSend(done, m.To, m.From, m.attempt, true)
+	if dec.Drop {
+		p.Stats.MsgsDropped++
+		if e.Tracer != nil {
+			ev := trace.Ev(done, m.To, trace.KindMsgDrop)
+			ev.Arg, ev.Arg2 = int64(m.From), int64(m.seq)
+			e.Tracer.Trace(ev)
+		}
+		return
+	}
+	arrive := e.Net.Transfer(done+dec.ExtraDelay, m.To, m.From, size)
+	key := seqKey{m.From, m.To, m.seq}
+	e.schedule(arrive, func() {
+		if tx := e.rel.pending[key]; tx != nil {
+			tx.acked = true
+			delete(e.rel.pending, key)
+		}
+	})
+}
+
+// chargeRecovery attributes transport work on a node: overlapped with an
+// existing stall it is hidden (like IPCHiddenCycles); otherwise it is
+// stolen from the running computation and lands in the Recovery category
+// at the node's next advance.
+func (e *Engine) chargeRecovery(p *Proc, cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	if p.Blocked() || p.done {
+		p.Stats.RecoveryHiddenCycles += cycles
+	} else {
+		p.StealRecovery(cycles)
+	}
+}

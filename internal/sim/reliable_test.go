@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"aecdsm/internal/fault"
+	"aecdsm/internal/stats"
+)
+
+// TestDedupUnderForcedDuplication: with every transmission duplicated, the
+// handler still runs exactly once per message — the idempotence guarantee
+// every protocol handler relies on.
+func TestDedupUnderForcedDuplication(t *testing.T) {
+	e, run := testEngine(2)
+	e.EnableFaults(fault.Config{Seed: 11, Dup: 1})
+	const n = 5
+	count := 0
+	e.Spawn(0, func(p *Proc) {
+		for i := 0; i < n; i++ {
+			e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+				s.Charge(10)
+				count++
+				s.Wake(e.Procs[1])
+			})
+		}
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.WaitUntil(func() bool { return count == n }, stats.Synch)
+	})
+	e.Start()
+	if count != n {
+		t.Fatalf("handler ran %d times for %d messages", count, n)
+	}
+	if got := run.Procs[1].DupMsgsSuppressed; got != n {
+		t.Fatalf("DupMsgsSuppressed = %d, want %d (one duplicate per message)", got, n)
+	}
+	if run.Procs[1].AcksSent == 0 {
+		t.Fatal("reliable delivery should ack")
+	}
+}
+
+// TestRetransmitAfterDrop: under total loss with MaxAttempts=3 the first
+// two attempts vanish and the third is guaranteed through, so delivery
+// happens exactly once, after at least the sum of the first two backoff
+// timeouts.
+func TestRetransmitAfterDrop(t *testing.T) {
+	e, run := testEngine(2)
+	const rto = 2000
+	e.EnableFaults(fault.Config{Seed: 1, Drop: 1, RTO: rto, MaxAttempts: 3})
+	count := 0
+	var sentAt, deliveredAt Time
+	e.Spawn(0, func(p *Proc) {
+		sentAt = p.Clock
+		e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+			deliveredAt = s.Now
+			s.Wake(e.Procs[1])
+		})
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.WaitUntil(func() bool { return count > 0 }, stats.Synch)
+	})
+	e.Start()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want exactly 1", count)
+	}
+	if run.Procs[0].Retransmits != 2 {
+		t.Fatalf("Retransmits = %d, want 2", run.Procs[0].Retransmits)
+	}
+	if run.Procs[0].MsgsDropped != 2 {
+		t.Fatalf("MsgsDropped = %d, want 2", run.Procs[0].MsgsDropped)
+	}
+	// Attempt 2 fires one RTO after attempt 1, attempt 3 two RTOs (backoff)
+	// after that: delivery cannot precede the accumulated timeouts.
+	if min := sentAt + rto + 2*rto; deliveredAt < min {
+		t.Fatalf("delivered at %d, before the backoff floor %d", deliveredAt, min)
+	}
+	if run.Procs[0].Breakdown[stats.Recovery] == 0 && run.Procs[0].RecoveryHiddenCycles == 0 {
+		t.Fatal("retransmissions should be charged to recovery")
+	}
+}
+
+// TestBestEffortDropIsSilent: best-effort traffic is never retransmitted —
+// a dropped push is simply gone, and the run still terminates.
+func TestBestEffortDropIsSilent(t *testing.T) {
+	e, run := testEngine(2)
+	e.EnableFaults(fault.Config{Seed: 9, Drop: 1})
+	count := 0
+	e.Spawn(0, func(p *Proc) {
+		e.SendFromBestEffort(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+		})
+		p.Advance(100, stats.Busy)
+	})
+	e.Spawn(1, func(p *Proc) { p.Advance(10, stats.Busy) })
+	e.Start()
+	if e.Deadlocked {
+		t.Fatal("lost best-effort message wedged the run")
+	}
+	if count != 0 {
+		t.Fatal("dropped best-effort message was delivered")
+	}
+	if run.Procs[0].MsgsDropped != 1 {
+		t.Fatalf("MsgsDropped = %d, want 1", run.Procs[0].MsgsDropped)
+	}
+	if run.Procs[0].Retransmits != 0 {
+		t.Fatal("best-effort traffic must never retransmit")
+	}
+}
+
+// TestInjectedStallDelaysDelivery: a forced node stall postpones message
+// service and is accounted, but does not lose the message.
+func TestInjectedStallDelaysDelivery(t *testing.T) {
+	deliverAt := func(cfg *fault.Config) (Time, *stats.Run) {
+		e, run := testEngine(2)
+		if cfg != nil {
+			e.EnableFaults(*cfg)
+		}
+		var at Time
+		got := false
+		e.Spawn(0, func(p *Proc) {
+			e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+				s.Charge(10)
+				at = s.Now
+				got = true
+				s.Wake(e.Procs[1])
+			})
+		})
+		e.Spawn(1, func(p *Proc) {
+			p.WaitUntil(func() bool { return got }, stats.Synch)
+		})
+		e.Start()
+		return at, run
+	}
+	clean, _ := deliverAt(nil)
+	stalled, run := deliverAt(&fault.Config{Seed: 2, Stall: 1, StallMax: 5000})
+	if stalled <= clean {
+		t.Fatalf("stalled delivery at %d should be later than clean %d", stalled, clean)
+	}
+	if run.Procs[1].FaultStallCycles == 0 {
+		t.Fatal("stall cycles not accounted")
+	}
+}
+
+// TestFaultedRunIsDeterministic: the same seed gives bit-identical timing;
+// a different seed is allowed to differ.
+func TestFaultedRunIsDeterministic(t *testing.T) {
+	runOnce := func(seed uint64) uint64 {
+		e, _ := testEngine(3)
+		e.EnableFaults(fault.Config{Seed: seed, Drop: 0.3, Dup: 0.3, Delay: 0.5,
+			DelayMax: 3000, Stall: 0.2, StallMax: 2000, RTO: 4000})
+		count := 0
+		for i := 0; i < 2; i++ {
+			i := i
+			e.Spawn(i, func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					e.SendFrom(p, stats.Synch, 2, 1, 128, nil, func(s *Svc, m *Msg) {
+						s.Charge(50)
+						count++
+						s.Wake(e.Procs[2])
+					})
+					p.Advance(500, stats.Busy)
+				}
+			})
+		}
+		e.Spawn(2, func(p *Proc) {
+			p.WaitUntil(func() bool { return count == 20 }, stats.Synch)
+		})
+		return e.Start()
+	}
+	a, b := runOnce(77), runOnce(77)
+	if a != b {
+		t.Fatalf("same seed, different parallel time: %d vs %d", a, b)
+	}
+}

@@ -26,6 +26,11 @@ const (
 	// Others covers TLB miss latency, cache miss latency, write buffer
 	// stalls and interrupt overheads.
 	Others
+	// Recovery is fault-recovery overhead: acknowledgement sends,
+	// retransmissions, and duplicate suppression performed by the
+	// reliable transport when fault injection is enabled. Always zero
+	// in fault-free runs (the paper's Figures 4-6 world).
+	Recovery
 	// NumCategories is the number of breakdown categories.
 	NumCategories
 )
@@ -43,6 +48,8 @@ func (c Category) String() string {
 		return "ipc"
 	case Others:
 		return "others"
+	case Recovery:
+		return "recovery"
 	}
 	return fmt.Sprintf("Category(%d)", int(c))
 }
@@ -111,6 +118,15 @@ type Proc struct {
 	// IPC service time that was overlapped with an existing stall and
 	// therefore not charged to the critical path.
 	IPCHiddenCycles uint64
+
+	// Fault-recovery accounting (all zero unless fault injection is on).
+	Retransmits          uint64 // reliable messages retransmitted after timeout
+	AcksSent             uint64 // transport-level acknowledgements sent
+	DupMsgsSuppressed    uint64 // duplicate deliveries suppressed by dedup
+	MsgsDropped          uint64 // transmissions the injector dropped
+	LAPFallbacks         uint64 // acquires that gave up on a lost eager push
+	FaultStallCycles     uint64 // injected node-stall cycles
+	RecoveryHiddenCycles uint64 // recovery work overlapped with an existing stall
 
 	// Memory system.
 	CacheMisses          uint64

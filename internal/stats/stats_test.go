@@ -3,7 +3,7 @@ package stats
 import "testing"
 
 func TestCategoryString(t *testing.T) {
-	want := []string{"busy", "data", "synch", "ipc", "others"}
+	want := []string{"busy", "data", "synch", "ipc", "others", "recovery"}
 	for c := Category(0); c < NumCategories; c++ {
 		if c.String() != want[c] {
 			t.Errorf("Category(%d) = %q, want %q", c, c.String(), want[c])

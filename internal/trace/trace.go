@@ -77,7 +77,10 @@ const (
 	// KindTwinCreate: a pristine twin of a page was made before writing.
 	KindTwinCreate
 	// KindDiffCreate: a diff was encoded from a page/twin pair.
-	// Arg = encoded bytes, Arg2 = 1 if hidden behind synchronization.
+	// Arg = encoded bytes. Arg2 is a bitmask: bit 0 set if the work was
+	// hidden behind synchronization, bit 1 set if the page's twin was
+	// saved rather than consumed (AEC's speculative outside diffs, §3.2 —
+	// the twin survives so the diff can be discarded at release).
 	KindDiffCreate
 	// KindDiffApply: a diff was patched into a local frame.
 	// Arg = data bytes, Arg2 = 1 if hidden behind synchronization.
@@ -104,6 +107,24 @@ const (
 	// KindNetTransfer: a message crossed the mesh. Arg = destination,
 	// Arg2 = cycles spent waiting for contended links.
 	KindNetTransfer
+	// KindMsgDrop: the fault injector dropped a transmission.
+	// Arg = destination, Arg2 = transport sequence number.
+	KindMsgDrop
+	// KindMsgDup: the receiver suppressed a duplicate delivery.
+	// Arg = source, Arg2 = transport sequence number.
+	KindMsgDup
+	// KindMsgRetry: the reliable transport retransmitted an unacked
+	// message. Arg = destination, Arg2 = attempt number (2 = first retry).
+	KindMsgRetry
+	// KindMsgAck: the receiver acknowledged a reliable message.
+	// Arg = source (the node being acked), Arg2 = sequence number.
+	KindMsgAck
+	// KindFaultStall: the injector stalled a node before message service.
+	// Arg = stall cycles.
+	KindFaultStall
+	// KindLAPFallback: an acquirer timed out waiting for a (lost) eager
+	// push and fell back to explicit fetches. Arg = expected pusher.
+	KindLAPFallback
 
 	numKinds
 )
@@ -134,6 +155,12 @@ var kindNames = [numKinds]string{
 	KindMsgSend:       "msg-send",
 	KindMsgDeliver:    "msg-deliver",
 	KindNetTransfer:   "net-transfer",
+	KindMsgDrop:       "msg-drop",
+	KindMsgDup:        "msg-dup",
+	KindMsgRetry:      "msg-retry",
+	KindMsgAck:        "msg-ack",
+	KindFaultStall:    "fault-stall",
+	KindLAPFallback:   "lap-fallback",
 }
 
 // String returns the stable wire name of the kind (used by all sinks).
@@ -162,6 +189,12 @@ func (k Kind) Category() string {
 		return "barrier"
 	case KindMsgSend, KindMsgDeliver, KindNetTransfer:
 		return "msg"
+	case KindMsgDrop, KindMsgDup, KindMsgRetry, KindMsgAck:
+		return "recovery"
+	case KindFaultStall:
+		return "fault"
+	case KindLAPFallback:
+		return "lap"
 	}
 	return "other"
 }
