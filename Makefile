@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fuzz
+.PHONY: all build test lint fuzz bench
 
 all: build lint test
 
@@ -25,3 +25,8 @@ lint:
 # Quick differential-checker pass (see docs/TESTING.md for deeper runs).
 fuzz:
 	$(GO) run ./cmd/fuzzdsm -iters 50
+
+# Diff/merge kernel microbenchmarks, recorded as a JSON stream so the perf
+# trajectory is diffable across PRs (docs/PERFORMANCE.md).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMakeDiff|BenchmarkMergeDiffs' -benchmem -json . | tee BENCH_kernels.json

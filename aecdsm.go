@@ -102,7 +102,17 @@ func NewApp(name string, scale float64) (Program, error) {
 	if !ok {
 		return nil, fmt.Errorf("aecdsm: unknown app %q (have %v)", name, Apps())
 	}
-	return factory(scale), nil
+	return factory(apps.Config{Scale: scale}), nil
+}
+
+// NewAppSeeded is NewApp with an explicit base seed perturbing every RNG
+// stream of the application (zero keeps the historical streams).
+func NewAppSeeded(name string, scale float64, baseSeed uint64) (Program, error) {
+	factory, ok := apps.Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("aecdsm: unknown app %q (have %v)", name, Apps())
+	}
+	return factory(apps.Config{Scale: scale, BaseSeed: baseSeed}), nil
 }
 
 // Config selects what to simulate.

@@ -9,6 +9,7 @@ import (
 	"aecdsm"
 	"aecdsm/internal/aec"
 	"aecdsm/internal/harness"
+	"aecdsm/internal/mem"
 	"aecdsm/internal/network"
 )
 
@@ -22,6 +23,26 @@ func benchScale() float64 {
 		}
 	}
 	return 0.25
+}
+
+// benchJobs reads the AEC_JOBS override for the table benchmarks'
+// parallel scheduler (0 = GOMAXPROCS; set AEC_JOBS=1 to benchmark the
+// sequential baseline).
+func benchJobs() int {
+	if s := os.Getenv("AEC_JOBS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// benchExperiments builds the experiment driver every table benchmark
+// iteration uses: benchmark scale, AEC_JOBS worker pool.
+func benchExperiments() *harness.Experiments {
+	e := aecdsm.NewExperiments(benchScale())
+	e.Jobs = benchJobs()
+	return e
 }
 
 // benchOut returns where table output goes: stdout with -v-style verbosity
@@ -45,7 +66,7 @@ func reportParallelCycles(b *testing.B, e *harness.Experiments, app string, kind
 // per application, measured under AEC.
 func BenchmarkTable2SyncEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Table2(benchOut())
 	}
 }
@@ -54,7 +75,7 @@ func BenchmarkTable2SyncEvents(b *testing.B) {
 // lock-variable group for Ns=2.
 func BenchmarkTable3LAPSuccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Table3(benchOut())
 	}
 }
@@ -63,7 +84,7 @@ func BenchmarkTable3LAPSuccess(b *testing.B) {
 // overhead under AEC without LAP vs AEC, lock-intensive applications.
 func BenchmarkFigure3FaultOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Figure3(benchOut())
 	}
 }
@@ -72,7 +93,7 @@ func BenchmarkFigure3FaultOverhead(b *testing.B) {
 // under AEC without LAP vs AEC.
 func BenchmarkFigure4NoLAPvsLAP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Figure4(benchOut())
 	}
 }
@@ -81,7 +102,7 @@ func BenchmarkFigure4NoLAPvsLAP(b *testing.B) {
 // and the hidden fraction of diff-creation cost under AEC.
 func BenchmarkTable4DiffStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Table4(benchOut())
 	}
 }
@@ -90,7 +111,7 @@ func BenchmarkTable4DiffStats(b *testing.B) {
 // under TreadMarks vs AEC for the barrier-dominated applications.
 func BenchmarkFigure5TMvsAEC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Figure5(benchOut())
 	}
 }
@@ -99,7 +120,7 @@ func BenchmarkFigure5TMvsAEC(b *testing.B) {
 // under TreadMarks vs AEC for the lock-intensive applications.
 func BenchmarkFigure6TMvsAEC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.Figure6(benchOut())
 	}
 }
@@ -108,7 +129,7 @@ func BenchmarkFigure6TMvsAEC(b *testing.B) {
 // runtime for update-set sizes 1-3.
 func BenchmarkNsSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := aecdsm.NewExperiments(benchScale())
+		e := benchExperiments()
 		e.NsSweep(benchOut())
 	}
 }
@@ -125,7 +146,7 @@ func BenchmarkApp(b *testing.B) {
 			app, kind := app, kind
 			b.Run(app+"/"+string(kind), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					e := aecdsm.NewExperiments(benchScale())
+					e := benchExperiments()
 					reportParallelCycles(b, e, app, kind)
 				}
 			})
@@ -177,5 +198,103 @@ func BenchmarkAblation(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ---- diff/merge kernel microbenchmarks -------------------------------------
+//
+// MakeDiff and MergeDiffs run once per page per interval in every protocol;
+// docs/PERFORMANCE.md records the methodology. Three page shapes bracket
+// the space: clean (no modified words — the skip path), sparse (a few
+// scattered words — the common critical-section write set), and dense
+// (every word modified — IS's whole-array snapshot).
+
+const benchPageSize = 4096
+
+// benchPagePair builds a (twin, cur) pair with the given modification
+// pattern.
+func benchPagePair(kind string) (twin, cur []byte) {
+	twin = make([]byte, benchPageSize)
+	cur = make([]byte, benchPageSize)
+	for i := range twin {
+		twin[i] = byte(i * 31)
+		cur[i] = twin[i]
+	}
+	switch kind {
+	case "clean":
+	case "sparse":
+		for i := 0; i < benchPageSize; i += 256 {
+			cur[i] ^= 0xFF
+		}
+	case "dense":
+		for i := 0; i < benchPageSize; i += 4 {
+			cur[i] ^= 0xFF
+		}
+	default:
+		panic("unknown page kind " + kind)
+	}
+	return twin, cur
+}
+
+// BenchmarkMakeDiff measures the twin-compare kernel on the three page
+// shapes at the default 4-byte word granularity.
+func BenchmarkMakeDiff(b *testing.B) {
+	for _, kind := range []string{"clean", "sparse", "dense"} {
+		kind := kind
+		b.Run(kind, func(b *testing.B) {
+			twin, cur := benchPagePair(kind)
+			b.ReportAllocs()
+			b.SetBytes(benchPageSize)
+			for i := 0; i < b.N; i++ {
+				mem.MakeDiff(0, twin, cur, 4)
+			}
+		})
+	}
+}
+
+// benchDiffPair builds two overlapping diffs of one page for the merge
+// benchmarks.
+func benchDiffPair(kind string) (*mem.Diff, *mem.Diff) {
+	twin, cur := benchPagePair(kind)
+	d1 := mem.MakeDiff(0, twin, cur, 4)
+	shifted := append([]byte(nil), twin...)
+	for i := 128; i < benchPageSize; i += 512 {
+		shifted[i] ^= 0xAA
+	}
+	d2 := mem.MakeDiff(0, twin, shifted, 4)
+	return d1, d2
+}
+
+// BenchmarkMergeDiffs measures the merge kernel: the allocating
+// convenience wrapper (two page-sized scratch slices per call), the
+// per-protocol Merger (scratch reused, output allocated), and the
+// steady-state MergeInto path (0 allocs/op once warm).
+func BenchmarkMergeDiffs(b *testing.B) {
+	for _, kind := range []string{"sparse", "dense"} {
+		kind := kind
+		d1, d2 := benchDiffPair(kind)
+		b.Run(kind+"/wrapper", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mem.MergeDiffs(benchPageSize, d1, d2)
+			}
+		})
+		b.Run(kind+"/merger", func(b *testing.B) {
+			m := mem.NewMerger(benchPageSize)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Merge(d1, d2)
+			}
+		})
+		b.Run(kind+"/steady", func(b *testing.B) {
+			m := mem.NewMerger(benchPageSize)
+			var dst *mem.Diff
+			dst, _ = m.MergeInto(dst, d1, d2) // warm dst capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, _ = m.MergeInto(dst, d1, d2)
+			}
+		})
 	}
 }

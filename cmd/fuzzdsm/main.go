@@ -13,6 +13,7 @@
 //	fuzzdsm -protocols AEC,TM-LH     # choose the comparison set
 //	fuzzdsm -faults light            # inject a deterministic fault schedule
 //	fuzzdsm -faults drop=0.05,dup=0.02 -fault-seed 7
+//	fuzzdsm -jobs 8                  # 8 workloads in flight (same output)
 //
 // With -faults every protocol runs under the same seed-derived fault
 // schedule and must still agree bit-for-bit at every barrier phase —
@@ -27,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"aecdsm/internal/check"
 	"aecdsm/internal/fault"
@@ -37,6 +40,7 @@ import (
 func main() {
 	var (
 		seed      = flag.Uint64("seed", 1, "first workload seed")
+		jobs      = flag.Int("jobs", 0, "workloads to run concurrently (0 = GOMAXPROCS, 1 = sequential; output order is identical at every value)")
 		iters     = flag.Int("iters", 25, "number of seeded workloads to run")
 		procs     = flag.Int("procs", 0, "force processor count (0 = derive 2-16 from seed)")
 		protocols = flag.String("protocols", "AEC,TM,Munin,ideal",
@@ -62,16 +66,30 @@ func main() {
 		baseFaults = &fc
 	}
 
+	// Phase 1: run every seeded workload, up to -jobs at a time. Each
+	// workload is a fully isolated set of engines, so they compose across
+	// OS threads; reports land in seed-indexed slots.
+	faultFor := func(s uint64) *fault.Config {
+		if baseFaults == nil {
+			return nil
+		}
+		fc := *baseFaults
+		fc.Seed = *faultSeed + s
+		return &fc
+	}
+	reports := make([]*check.Report, *iters)
+	runParallel(*iters, *jobs, func(i int) {
+		s := *seed + uint64(i)
+		reports[i] = check.RunSeedFault(s, *procs, kinds, faultFor(s))
+	})
+
+	// Phase 2: report (and shrink failures) strictly in seed order, so the
+	// output is byte-identical to a sequential run.
 	failures := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + uint64(i)
-		var fcfg *fault.Config
-		if baseFaults != nil {
-			fc := *baseFaults
-			fc.Seed = *faultSeed + s
-			fcfg = &fc
-		}
-		rep := check.RunSeedFault(s, *procs, kinds, fcfg)
+		fcfg := faultFor(s)
+		rep := reports[i]
 		if rep.Failed() {
 			failures++
 			fmt.Printf("seed %d: FAIL\n%s", s, rep)
@@ -92,6 +110,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("fuzzdsm: %d workloads, %d protocols each, all agree\n", *iters, len(kinds))
+}
+
+// runParallel executes fn(0..n-1) on up to jobs workers (0 = GOMAXPROCS)
+// and waits for all of them.
+func runParallel(n, jobs int, fn func(i int)) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 }
 
 func parseProtocols(list string) ([]harness.ProtocolKind, error) {

@@ -16,7 +16,13 @@
 //	tables -table speedup  # scalability sweep 1-32 processors
 //
 // With -trace / -metrics every simulation the selected tables run is
-// traced into one combined event stream (see docs/OBSERVABILITY.md).
+// traced into one combined event stream (see docs/OBSERVABILITY.md); a
+// trace sink forces sequential execution regardless of -jobs so the
+// stream keeps its deterministic order.
+//
+// -jobs N runs up to N simulations concurrently on isolated engines
+// (default GOMAXPROCS). The rendered tables are byte-identical at every
+// job count; only the wall-clock changes (docs/PERFORMANCE.md).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 func main() {
 	var (
 		scale     = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = paper sizes")
+		jobs      = flag.Int("jobs", 0, "simulations to run concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at every value)")
 		table     = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or ns")
 		figure    = flag.String("figure", "", "regenerate one figure: 3, 4, 5 or 6")
 		traceFile = flag.String("trace", "", "write the protocol event trace to this file")
@@ -40,6 +47,7 @@ func main() {
 	flag.Parse()
 
 	e := aecdsm.NewExperiments(*scale)
+	e.Jobs = *jobs
 	w := os.Stdout
 
 	var sinks []aecdsm.Tracer

@@ -90,6 +90,11 @@ type AEC struct {
 	nprocs   int
 	pageSize int
 	numLocks int
+
+	// merger is the per-instance scratch behind every diff merge; one
+	// protocol serves one engine, so reuse is safe and keeps the merge
+	// hot path free of page-sized allocations.
+	merger *mem.Merger
 }
 
 // New builds an AEC protocol with the given options.
@@ -137,6 +142,7 @@ func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	pr.ctxs = ctxs
 	pr.nprocs = len(ctxs)
 	pr.pageSize = s.PageSize()
+	pr.merger = mem.NewMerger(pr.pageSize)
 	pages := s.Pages()
 	pr.ps = make([]*procState, pr.nprocs)
 	for i := range pr.ps {
@@ -223,9 +229,11 @@ func (pr *AEC) Notice(c *proto.Ctx, lock int) {
 		})
 }
 
-// merge2 merges two diffs of one page (either may be nil).
+// merge2 merges two diffs of one page (either may be nil). The result is
+// caller-owned (archived in diff stores), so this uses the allocating
+// Merge; only the page-sized scratch is reused.
 func (pr *AEC) merge2(a, b *mem.Diff) *mem.Diff {
-	return mem.MergeDiffs(pr.pageSize, a, b)
+	return pr.merger.Merge(a, b)
 }
 
 // archiveOutside stores a finalized outside diff for (page, step).

@@ -42,31 +42,38 @@ func (r *Rand) Intn(n int) int {
 	return int(r.Next() % uint64(n))
 }
 
-// baseSeed is the process-wide root that every application RNG stream
-// derives from. Zero (the default) leaves each stream on its historical
-// per-app constant, keeping checked-in full-scale results valid; a
-// non-zero base perturbs all streams deterministically (determinism tests
-// and fuzzing vary it instead of touching per-app code).
-var baseSeed uint64
-
-// SetBaseSeed overrides the root seed for all application RNG streams and
-// returns the previous value so tests can restore it.
-func SetBaseSeed(s uint64) uint64 {
-	prev := baseSeed
-	baseSeed = s
-	return prev
+// Config carries the per-run construction parameters every application
+// factory receives. There is deliberately no process-global RNG state:
+// every random stream derives from the Config held by one program
+// instance, so fully isolated runs can execute concurrently (the parallel
+// experiment scheduler in internal/harness depends on this).
+type Config struct {
+	// Scale shrinks problem sizes ((0,1]; 1.0 = the paper's
+	// configuration; out-of-range values are clamped to 1.0).
+	Scale float64
+	// BaseSeed is the root every RNG stream of the program derives from.
+	// Zero (the default) leaves each stream on its historical per-app
+	// constant, keeping checked-in full-scale results valid; a non-zero
+	// base perturbs all streams deterministically (determinism tests and
+	// fuzzing vary it instead of touching per-app code).
+	BaseSeed uint64
 }
 
-// StreamRand is the single seedable source behind every application's
+// Stream is the single seedable source behind an application's
 // randomness: it derives a generator for one named stream (the app's
-// historical seed constant) from the process base seed.
-func StreamRand(stream uint64) *Rand {
-	if baseSeed == 0 {
+// historical seed constant) from the run's base seed.
+func (c Config) Stream(stream uint64) *Rand {
+	return seedStream(c.BaseSeed, stream)
+}
+
+// seedStream combines a base seed with a stream constant.
+func seedStream(base, stream uint64) *Rand {
+	if base == 0 {
 		return NewRand(stream)
 	}
 	// splitmix64 finalizer over the combined seeds: decorrelates streams
 	// even for adjacent base values.
-	z := stream ^ (baseSeed + 0x9E3779B97F4A7C15)
+	z := stream ^ (base + 0x9E3779B97F4A7C15)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return NewRand(z ^ (z >> 31))
@@ -101,9 +108,10 @@ func (v *verifier) Err() error {
 }
 
 // Registry maps application names to factories. A factory builds a fresh
-// program instance for one run; scale in (0,1] shrinks problem sizes for
-// fast tests, 1.0 being the benchmark configuration.
-var Registry = map[string]func(scale float64) proto.Program{}
+// program instance for one run from its Config (problem scale plus the
+// base seed of its random streams). Instances share no mutable state, so
+// distinct runs may execute on concurrent engines.
+var Registry = map[string]func(cfg Config) proto.Program{}
 
 // Names returns the registered application names, sorted, paper order
 // first for the six paper apps.

@@ -32,7 +32,7 @@ func runApp(t *testing.T, name string, mk func() proto.Protocol) *harness.Result
 	if !ok {
 		t.Fatalf("app %q not registered", name)
 	}
-	res := harness.Run(memsys.Default(), mk(), factory(testScale))
+	res := harness.Run(memsys.Default(), mk(), factory(apps.Config{Scale: testScale}))
 	if res.Deadlocked {
 		t.Fatalf("%s deadlocked", name)
 	}

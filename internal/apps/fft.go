@@ -29,15 +29,18 @@ type FFT struct {
 	// check, when set, receives the full output matrix on verification
 	// (test hook).
 	check func(got []complex128)
+
+	cfg Config
 }
 
-// NewFFT builds the FFT program; scale 1.0 is the paper's 256x256 matrix.
-func NewFFT(scale float64) *FFT {
+// NewFFT builds the FFT program; cfg.Scale 1.0 is the paper's 256x256
+// matrix.
+func NewFFT(cfg Config) *FFT {
 	n := 256
-	for n > 32 && float64(n*n) > 256*256*clampScale(scale) {
+	for n > 32 && float64(n*n) > 256*256*clampScale(cfg.Scale) {
 		n /= 2
 	}
-	return &FFT{N: n}
+	return &FFT{N: n, cfg: cfg}
 }
 
 // Name implements proto.Program.
@@ -52,7 +55,7 @@ func (a *FFT) Err() error { return a.v.Err() }
 // Init implements proto.Program.
 func (a *FFT) Init(s *mem.Space, nprocs int) {
 	n := a.N
-	rng := StreamRand(777)
+	rng := a.cfg.Stream(777)
 	a.input = make([]complex128, n*n)
 	for i := range a.input {
 		a.input[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
@@ -277,7 +280,7 @@ func putF64(b []byte, idx int, v float64) {
 }
 
 func init() {
-	Registry["FFT"] = func(scale float64) proto.Program { return NewFFT(scale) }
+	Registry["FFT"] = func(cfg Config) proto.Program { return NewFFT(cfg) }
 }
 
 // LockGroups implements LockGrouper.

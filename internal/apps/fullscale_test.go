@@ -27,7 +27,7 @@ func TestFullScale(t *testing.T) {
 				func() proto.Protocol { return tm.New() },
 			} {
 				pr := mk()
-				res := harness.Run(memsys.Default(), pr, apps.Registry[name](1.0))
+				res := harness.Run(memsys.Default(), pr, apps.Registry[name](apps.Config{Scale: 1.0}))
 				if res.Deadlocked {
 					t.Fatalf("%s deadlocked", pr.Name())
 				}

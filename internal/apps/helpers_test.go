@@ -128,7 +128,7 @@ func TestSerialFFTAgreesWithDirect1D(t *testing.T) {
 }
 
 func TestWaterSerialConservation(t *testing.T) {
-	w := newWaterParams(0.1)
+	w := newWaterParams(Config{Scale: 0.1})
 	pos, pot := w.serialWaterNS()
 	if len(pos) != w.mols {
 		t.Fatal("wrong molecule count")
@@ -153,7 +153,7 @@ func TestWaterSerialConservation(t *testing.T) {
 }
 
 func TestWaterPairForceSymmetry(t *testing.T) {
-	w := newWaterParams(0.1)
+	w := newWaterParams(Config{Scale: 0.1})
 	a := vec3{0, 0, 0}
 	b := vec3{1, 0.3, -0.2}
 	fab, pab := w.pairForce(a, b)
@@ -210,7 +210,7 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestLockGroupsCoverLocks(t *testing.T) {
 	for _, name := range Names() {
-		prog := Registry[name](0.05)
+		prog := Registry[name](Config{Scale: 0.05})
 		g, ok := prog.(LockGrouper)
 		if !ok {
 			continue

@@ -25,16 +25,18 @@ type IS struct {
 
 	keys  []int32
 	procs int
+	cfg   Config
 	v     verifier
 }
 
-// NewIS builds the Integer Sort program. scale 1.0 reproduces the paper's
-// 64K-key configuration.
-func NewIS(scale float64) *IS {
+// NewIS builds the Integer Sort program. cfg.Scale 1.0 reproduces the
+// paper's 64K-key configuration.
+func NewIS(cfg Config) *IS {
 	return &IS{
-		Keys:    scaled(64*1024, scale, 1024),
+		Keys:    scaled(64*1024, cfg.Scale, 1024),
 		MaxKey:  1024,
 		Repeats: 5,
+		cfg:     cfg,
 	}
 }
 
@@ -51,7 +53,7 @@ func (a *IS) Err() error { return a.v.Err() }
 // Init implements proto.Program.
 func (a *IS) Init(s *mem.Space, nprocs int) {
 	a.procs = nprocs
-	rng := StreamRand(12345)
+	rng := a.cfg.Stream(12345)
 	a.keys = make([]int32, a.Keys)
 	for i := range a.keys {
 		a.keys[i] = int32(rng.Intn(a.MaxKey))
@@ -181,7 +183,7 @@ func putI32(b []byte, idx int, v int32) {
 }
 
 func init() {
-	Registry["IS"] = func(scale float64) proto.Program { return NewIS(scale) }
+	Registry["IS"] = func(cfg Config) proto.Program { return NewIS(cfg) }
 }
 
 // LockGroups implements LockGrouper.

@@ -30,6 +30,8 @@ type Ocean struct {
 
 	// check, when set, receives the final grid (test hook).
 	check func(got []float64)
+
+	cfg Config
 }
 
 // Ocean lock variables.
@@ -41,18 +43,19 @@ const (
 	oceanNumLocks
 )
 
-// NewOcean builds the Ocean program; scale 1.0 is the paper's 258x258
-// grid. Iterations are set so the barrier count lands near Table 2's 900.
-func NewOcean(scale float64) *Ocean {
+// NewOcean builds the Ocean program; cfg.Scale 1.0 is the paper's
+// 258x258 grid. Iterations are set so the barrier count lands near
+// Table 2's 900.
+func NewOcean(cfg Config) *Ocean {
 	n := 256
-	for n > 32 && float64(n*n) > 256*256*clampScale(scale) {
+	for n > 32 && float64(n*n) > 256*256*clampScale(cfg.Scale) {
 		n /= 2
 	}
 	iters := 224 // 4 barriers per iteration + startup/teardown ≈ 900
 	if n < 256 {
 		iters = 24
 	}
-	return &Ocean{N: n, Iters: iters}
+	return &Ocean{N: n, Iters: iters, cfg: cfg}
 }
 
 // Name implements proto.Program.
@@ -69,7 +72,7 @@ func (a *Ocean) dim() int { return a.N + 2 }
 // Init implements proto.Program.
 func (a *Ocean) Init(s *mem.Space, nprocs int) {
 	d := a.dim()
-	rng := StreamRand(4242)
+	rng := a.cfg.Stream(4242)
 	a.init = make([]float64, d*d)
 	for i := range a.init {
 		a.init[i] = rng.Float64()
@@ -204,7 +207,7 @@ func (a *Ocean) Body(c *proto.Ctx) {
 }
 
 func init() {
-	Registry["Ocean"] = func(scale float64) proto.Program { return NewOcean(scale) }
+	Registry["Ocean"] = func(cfg Config) proto.Program { return NewOcean(cfg) }
 }
 
 // LockGroups implements LockGrouper.

@@ -28,6 +28,7 @@ type Raytrace struct {
 	qcap  int
 	procs int
 	want  []float64
+	cfg   Config
 	v     verifier
 }
 
@@ -37,18 +38,18 @@ type sphere struct {
 	shade  float64
 }
 
-// NewRaytrace builds the renderer; scale 1.0 renders 512x256 with 16x16
-// tiles (~1300 tiles), approximating Table 2's event counts.
-func NewRaytrace(scale float64) *Raytrace {
+// NewRaytrace builds the renderer; cfg.Scale 1.0 renders 512x256 with
+// 16x16 tiles (~1300 tiles), approximating Table 2's event counts.
+func NewRaytrace(cfg Config) *Raytrace {
 	w, h := 512, 512
-	for w*h > int(512*512*clampScale(scale)) && w > 64 {
+	for w*h > int(512*512*clampScale(cfg.Scale)) && w > 64 {
 		if w > h {
 			w /= 2
 		} else {
 			h /= 2
 		}
 	}
-	return &Raytrace{Width: w, Height: h, Tile: 16}
+	return &Raytrace{Width: w, Height: h, Tile: 16, cfg: cfg}
 }
 
 // Name implements proto.Program.
@@ -74,7 +75,7 @@ func (a *Raytrace) tiles() int  { return a.tilesX() * a.tilesY() }
 // Init implements proto.Program.
 func (a *Raytrace) Init(s *mem.Space, nprocs int) {
 	a.procs = nprocs
-	rng := StreamRand(31337)
+	rng := a.cfg.Stream(31337)
 	a.scene = make([]sphere, 24)
 	for i := range a.scene {
 		a.scene[i] = sphere{
@@ -266,7 +267,7 @@ func (a *Raytrace) Body(c *proto.Ctx) {
 }
 
 func init() {
-	Registry["Raytrace"] = func(scale float64) proto.Program { return NewRaytrace(scale) }
+	Registry["Raytrace"] = func(cfg Config) proto.Program { return NewRaytrace(cfg) }
 }
 
 // LockGroups implements LockGrouper.

@@ -14,6 +14,10 @@ import (
 type SynthConfig struct {
 	// Seed drives the op schedule, the deltas and the padding layout.
 	Seed uint64
+	// BaseSeed perturbs the workload's random stream the same way
+	// Config.BaseSeed perturbs the paper applications' streams (zero
+	// keeps the historical stream for a given Seed).
+	BaseSeed uint64
 	// Locks is the number of lock-protected counter regions (>= 1).
 	Locks int
 	// CellsPerLock is the number of counters per region (>= 2; the first
@@ -114,7 +118,7 @@ func (a *Synth) Init(s *mem.Space, nprocs int) {
 	}
 	a.slotsA = s.Alloc("synth.slots", 8*nprocs, 0)
 
-	rng := StreamRand(0x53594e5448 + cfg.Seed) // "SYNTH" + seed
+	rng := seedStream(cfg.BaseSeed, 0x53594e5448+cfg.Seed) // "SYNTH" + seed
 	a.sched = make([][][]synthOp, cfg.Phases)
 	a.expected = make([][]int64, cfg.Phases)
 	totals := make([]int64, cfg.Locks)
@@ -240,16 +244,17 @@ func (a *Synth) FinalChecksum() uint64 {
 }
 
 func init() {
-	Registry["synth"] = func(scale float64) proto.Program {
-		cfg := SynthConfig{
+	Registry["synth"] = func(cfg Config) proto.Program {
+		sc := SynthConfig{
 			Seed:         1,
+			BaseSeed:     cfg.BaseSeed,
 			Locks:        4,
 			CellsPerLock: 4,
-			Phases:       scaled(4, scale, 2),
-			OpsPerPhase:  scaled(6, scale, 2),
+			Phases:       scaled(4, cfg.Scale, 2),
+			OpsPerPhase:  scaled(6, cfg.Scale, 2),
 			PadWords:     24,
 			Notices:      true,
 		}
-		return NewSynth(cfg)
+		return NewSynth(sc)
 	}
 }

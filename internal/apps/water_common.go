@@ -22,11 +22,12 @@ type waterParams struct {
 	cutoff  float64 // interaction cutoff
 	dt      float64 // integration step
 	steps   int     // time steps (paper: 5)
+	cfg     Config  // per-run RNG base for the lattice perturbation
 }
 
-func newWaterParams(scale float64) waterParams {
+func newWaterParams(cfg Config) waterParams {
 	side := 8 // 512 molecules
-	if clampScale(scale) < 0.5 {
+	if clampScale(cfg.Scale) < 0.5 {
 		side = 5 // 125 molecules for fast tests
 	}
 	return waterParams{
@@ -36,13 +37,14 @@ func newWaterParams(scale float64) waterParams {
 		cutoff:  2.5, // ~30 neighbours/molecule: Table 2's ~28K lock events
 		dt:      0.002,
 		steps:   5,
+		cfg:     cfg,
 	}
 }
 
 // initialPositions lays the molecules on a deterministically perturbed
 // lattice.
 func (w waterParams) initialPositions() []vec3 {
-	rng := StreamRand(99991)
+	rng := w.cfg.Stream(99991)
 	pos := make([]vec3, w.mols)
 	i := 0
 	for x := 0; x < w.side; x++ {

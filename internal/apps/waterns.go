@@ -60,10 +60,10 @@ const (
 	waterGlobalLocks
 )
 
-// NewWaterNS builds Water-nsquared; scale 1.0 is the paper's 512-molecule,
-// 5-step configuration.
-func NewWaterNS(scale float64) *WaterNS {
-	return &WaterNS{w: newWaterParams(scale), traceMol: -1}
+// NewWaterNS builds Water-nsquared; cfg.Scale 1.0 is the paper's
+// 512-molecule, 5-step configuration.
+func NewWaterNS(cfg Config) *WaterNS {
+	return &WaterNS{w: newWaterParams(cfg), traceMol: -1}
 }
 
 // Name implements proto.Program.
@@ -275,7 +275,7 @@ func boolKeys(m map[int]vec3) map[int]bool {
 }
 
 func init() {
-	Registry["Water-ns"] = func(scale float64) proto.Program { return NewWaterNS(scale) }
+	Registry["Water-ns"] = func(cfg Config) proto.Program { return NewWaterNS(cfg) }
 }
 
 // LockGroups implements LockGrouper.

@@ -32,10 +32,10 @@ type WaterSP struct {
 	v       verifier
 }
 
-// NewWaterSP builds Water-spatial; scale 1.0 is the paper's 512-molecule,
-// 5-step configuration.
-func NewWaterSP(scale float64) *WaterSP {
-	return &WaterSP{w: newWaterParams(scale)}
+// NewWaterSP builds Water-spatial; cfg.Scale 1.0 is the paper's
+// 512-molecule, 5-step configuration.
+func NewWaterSP(cfg Config) *WaterSP {
+	return &WaterSP{w: newWaterParams(cfg)}
 }
 
 // Name implements proto.Program.
@@ -191,7 +191,7 @@ func (a *WaterSP) Body(c *proto.Ctx) {
 }
 
 func init() {
-	Registry["Water-sp"] = func(scale float64) proto.Program { return NewWaterSP(scale) }
+	Registry["Water-sp"] = func(cfg Config) proto.Program { return NewWaterSP(cfg) }
 }
 
 // LockGroups implements LockGrouper.

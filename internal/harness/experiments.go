@@ -37,20 +37,35 @@ type runKey struct {
 // Experiments runs and memoizes the simulations behind every table and
 // figure of the paper. Scale in (0,1] shrinks the application problem
 // sizes (1.0 = the paper's configuration).
+//
+// Each table first submits its full set of (app, protocol, ns) run keys
+// to the prefetching scheduler (sched.go), which executes the uncached
+// keys on a worker pool of up to Jobs concurrent engines, then formats
+// its output sequentially from the memo cache — so the rendered bytes are
+// identical at every job count.
 type Experiments struct {
 	Params memsys.Params
 	Scale  float64
+
+	// BaseSeed perturbs every application RNG stream (see apps.Config);
+	// zero keeps the historical streams behind the checked-in results.
+	BaseSeed uint64
+
+	// Jobs bounds how many simulations the scheduler runs concurrently:
+	// 0 means GOMAXPROCS, 1 forces strictly sequential execution. With a
+	// Tracer attached the scheduler always runs sequentially so the
+	// combined event stream keeps its deterministic order.
+	Jobs int
 
 	// Tracer, when non-nil, is attached to every simulation the driver
 	// runs. Because runs are memoized, each (app, protocol, ns) triple
 	// traces at most once.
 	Tracer trace.Tracer
 
-	cache map[runKey]*Result
-	// LAP statistics are harvested from the protocol right after each
-	// AEC run, keyed like the run itself.
-	lapCache map[runKey][]lapRow
-	groups   map[string][]apps.LockGroup
+	// sched owns the memo cache and the worker pool; every cache access
+	// goes through its mutex so Experiments methods may be called from
+	// concurrent goroutines (sched.go).
+	sched scheduler
 }
 
 // lapRow is the Table 3 data for one lock group.
@@ -67,13 +82,12 @@ type lapRow struct {
 // NewExperiments builds an experiment driver with the paper's default
 // system parameters.
 func NewExperiments(scale float64) *Experiments {
-	return &Experiments{
-		Params:   memsys.Default(),
-		Scale:    scale,
-		cache:    map[runKey]*Result{},
-		lapCache: map[runKey][]lapRow{},
-		groups:   map[string][]apps.LockGroup{},
+	e := &Experiments{
+		Params: memsys.Default(),
+		Scale:  scale,
 	}
+	e.sched.init()
+	return e
 }
 
 func (e *Experiments) protocol(kind ProtocolKind, ns int) proto.Protocol {
@@ -108,28 +122,36 @@ func (e *Experiments) Run(app string, kind ProtocolKind) *Result {
 	return e.RunNs(app, kind, 2)
 }
 
-// RunNs is Run with an explicit update set size.
+// RunNs is Run with an explicit update set size. It is safe to call from
+// concurrent goroutines; distinct Experiments instances never share
+// state.
 func (e *Experiments) RunNs(app string, kind ProtocolKind, ns int) *Result {
 	key := runKey{app: app, proto: kind, ns: ns}
-	if r, ok := e.cache[key]; ok {
+	if r, ok := e.sched.lookup(key); ok {
 		return r
 	}
-	factory, ok := apps.Registry[app]
-	if !ok {
-		panic("harness: unknown app " + app)
-	}
-	prog := factory(e.Scale)
-	pr := e.protocol(kind, ns)
-	res := MustRunTraced(e.Params, pr, prog, e.Tracer)
-	e.cache[key] = res
+	out := e.runOne(key)
+	e.sched.store(out)
+	return out.res
+}
 
+// runOne executes the simulation behind one run key — a pure, isolated
+// unit touching no Experiments state besides the immutable configuration,
+// so the scheduler may run many of these concurrently.
+func (e *Experiments) runOne(key runKey) runOutcome {
+	prog := appsFactory(key.app)(apps.Config{Scale: e.Scale, BaseSeed: e.BaseSeed})
+	pr := e.protocol(key.proto, key.ns)
+	res := MustRunTraced(e.Params, pr, prog, e.Tracer)
+	out := runOutcome{key: key, res: res}
 	if g, ok := prog.(apps.LockGrouper); ok {
-		e.groups[app] = g.LockGroups()
+		out.groups = g.LockGroups()
+		out.hasGroups = true
 	}
 	if a, ok := pr.(lapReporter); ok {
-		e.lapCache[key] = harvestLAP(a, e.groups[app])
+		out.lap = harvestLAP(a, out.groups)
+		out.hasLAP = true
 	}
-	return res
+	return out
 }
 
 // lapReporter is implemented by protocols whose lock managers record Lock
@@ -182,14 +204,14 @@ func harvestLAP(a lapReporter, groups []apps.LockGroup) []lapRow {
 // not cached yet).
 func (e *Experiments) LAP(app string, ns int) []lapRow {
 	e.RunNs(app, ProtoAEC, ns)
-	return e.lapCache[runKey{app: app, proto: ProtoAEC, ns: ns}]
+	return e.sched.lapRows(runKey{app: app, proto: ProtoAEC, ns: ns})
 }
 
 // LAPUnder returns the lock-group LAP rows measured under an arbitrary
 // protocol (AEC or TM).
 func (e *Experiments) LAPUnder(app string, kind ProtocolKind) []lapRow {
 	e.RunNs(app, kind, 2)
-	return e.lapCache[runKey{app: app, proto: kind, ns: 2}]
+	return e.sched.lapRows(runKey{app: app, proto: kind, ns: 2})
 }
 
 // OverallLAPRate collapses an app's group rows into one events-weighted
@@ -221,7 +243,7 @@ func AllApps() []string {
 }
 
 // appsFactory resolves an application factory, panicking on unknown names.
-func appsFactory(app string) func(float64) proto.Program {
+func appsFactory(app string) func(apps.Config) proto.Program {
 	f, ok := apps.Registry[app]
 	if !ok {
 		panic("harness: unknown app " + app)

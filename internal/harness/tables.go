@@ -5,8 +5,27 @@ import (
 	"io"
 	"strings"
 
+	"aecdsm/internal/apps"
 	"aecdsm/internal/stats"
 )
+
+// keysFor builds the (app, protocol, ns) cross product a table submits
+// to the prefetching scheduler before formatting (ns defaults to 2 when
+// none is given).
+func keysFor(appsList []string, kinds []ProtocolKind, nss ...int) []runKey {
+	if len(nss) == 0 {
+		nss = []int{2}
+	}
+	keys := make([]runKey, 0, len(appsList)*len(kinds)*len(nss))
+	for _, app := range appsList {
+		for _, k := range kinds {
+			for _, ns := range nss {
+				keys = append(keys, runKey{app: app, proto: k, ns: ns})
+			}
+		}
+	}
+	return keys
+}
 
 // Table1 prints the system parameter table (Table 1 of the paper).
 func (e *Experiments) Table1(w io.Writer) {
@@ -41,6 +60,7 @@ func (e *Experiments) Table1(w io.Writer) {
 // Table2 prints the synchronization event counts per application (Table 2
 // of the paper), measured under AEC.
 func (e *Experiments) Table2(w io.Writer) {
+	e.prefetch(keysFor(AllApps(), []ProtocolKind{ProtoAEC}))
 	fmt.Fprintln(w, "Table 2: Synchronization events in our applications.")
 	fmt.Fprintf(w, "  %-10s %8s %12s %15s\n", "Appl", "# locks", "# acq events", "# barrier events")
 	for _, app := range AllApps() {
@@ -53,6 +73,7 @@ func (e *Experiments) Table2(w io.Writer) {
 // Table3 prints the LAP success rates per lock-variable group for Ns=2
 // (Table 3 of the paper).
 func (e *Experiments) Table3(w io.Writer) {
+	e.prefetch(keysFor(AllApps(), []ProtocolKind{ProtoAEC}))
 	fmt.Fprintln(w, "Table 3: LAP Success Rates for Ns = 2 (percent).")
 	fmt.Fprintf(w, "  %-10s %-28s %8s %7s %6s %7s %8s %8s\n",
 		"Appl", "lock group", "# events", "% total", "LAP", "waitQ", "+affin", "+virtQ")
@@ -70,6 +91,7 @@ func (e *Experiments) Table3(w io.Writer) {
 // Figure3 prints the normalized memory access fault overhead under AEC
 // without LAP (100) and AEC, for the lock-intensive applications.
 func (e *Experiments) Figure3(w io.Writer) {
+	e.prefetch(keysFor(LockApps(), []ProtocolKind{ProtoAECNoLAP, ProtoAEC}))
 	fmt.Fprintln(w, "Figure 3: Access Fault Overheads Under AEC without LAP (noLAP=100) and AEC (LAP).")
 	fmt.Fprintf(w, "  %-10s %14s %14s %8s\n", "Appl", "noLAP (cycles)", "LAP (cycles)", "LAP (%)")
 	for _, app := range LockApps() {
@@ -91,6 +113,7 @@ func breakdownRow(w io.Writer, label string, b stats.Breakdown, norm uint64) {
 
 // figureBreakdown renders a paper-style two-bar comparison figure.
 func (e *Experiments) figureBreakdown(w io.Writer, title string, appsList []string, left, right ProtocolKind) {
+	e.prefetch(keysFor(appsList, []ProtocolKind{left, right}))
 	fmt.Fprintln(w, title)
 	for _, app := range appsList {
 		lb := e.Run(app, left).Run.TotalBreakdown()
@@ -112,6 +135,7 @@ func (e *Experiments) Figure4(w io.Writer) {
 
 // Table4 prints the diff statistics under AEC (Table 4 of the paper).
 func (e *Experiments) Table4(w io.Writer) {
+	e.prefetch(keysFor(AllApps(), []ProtocolKind{ProtoAEC}))
 	fmt.Fprintln(w, "Table 4: Diff statistics in AEC.")
 	fmt.Fprintf(w, "  %-10s %6s %8s %8s %12s %8s\n",
 		"Appl", "Size", "MrgSize", "Merged", "Create(cy)", "Hidden")
@@ -141,6 +165,7 @@ func (e *Experiments) Figure6(w io.Writer) {
 // NsSweep prints the LAP accuracy and runtime for update-set sizes 1-3
 // (the robustness study of §5.1: Ns=2 is the sweet spot).
 func (e *Experiments) NsSweep(w io.Writer) {
+	e.prefetch(keysFor(LockApps(), []ProtocolKind{ProtoAEC}, 1, 2, 3))
 	fmt.Fprintln(w, "Ns sweep (update set size 1-3): LAP success rate / normalized runtime.")
 	fmt.Fprintf(w, "  %-10s", "Appl")
 	for ns := 1; ns <= 3; ns++ {
@@ -175,6 +200,7 @@ func (e *Experiments) NsSweep(w io.Writer) {
 // for the lock-intensive applications measured under AEC and, passively,
 // under TreadMarks — the paper finds they differ by no more than ~10%.
 func (e *Experiments) LAPRobustness(w io.Writer) {
+	e.prefetch(keysFor(LockApps(), []ProtocolKind{ProtoAEC, ProtoTM}))
 	fmt.Fprintln(w, "LAP robustness (§5.1): overall success rate under AEC vs TreadMarks.")
 	fmt.Fprintf(w, "  %-10s %10s %10s %8s\n", "Appl", "under AEC", "under TM", "delta")
 	for _, app := range LockApps() {
@@ -189,6 +215,7 @@ func (e *Experiments) LAPRobustness(w io.Writer) {
 // pushed at releases), at the cost of page refetches by invalidated
 // sharers.
 func (e *Experiments) MuninTraffic(w io.Writer) {
+	e.prefetch(keysFor([]string{"IS", "Raytrace", "Water-ns"}, []ProtocolKind{ProtoMunin, ProtoMuninLAP}))
 	fmt.Fprintln(w, "Munin update-traffic restriction via LAP (§1 proposal).")
 	fmt.Fprintf(w, "  %-10s %14s %14s %9s %14s %14s\n",
 		"Appl", "Munin upd (B)", "+LAP upd (B)", "upd %", "Munin tot (B)", "+LAP tot (B)")
@@ -214,6 +241,7 @@ func (e *Experiments) MuninTraffic(w io.Writer) {
 // normalized to TreadMarks = 100.
 func (e *Experiments) ProtocolsOverview(w io.Writer) {
 	kinds := []ProtocolKind{ProtoIdeal, ProtoAEC, ProtoAECNoLAP, ProtoTM, ProtoTMLH, ProtoMunin, ProtoMuninLAP}
+	e.prefetch(keysFor(AllApps(), kinds))
 	fmt.Fprintln(w, "Protocol overview: parallel execution time normalized to TM = 100.")
 	fmt.Fprintf(w, "  %-10s", "Appl")
 	for _, k := range kinds {
@@ -232,24 +260,34 @@ func (e *Experiments) ProtocolsOverview(w io.Writer) {
 
 // Speedup prints parallel speedup (T1/Tp) for 1-32 processors under AEC
 // and TreadMarks — not a paper figure, but the natural scalability view of
-// the same simulations (the mesh grows with the processor count).
+// the same simulations (the mesh grows with the processor count). The
+// machine shape varies per run, so these runs bypass the memo cache: they
+// fan out through runParallel into an ordered result grid instead, and
+// the grid is formatted sequentially.
 func (e *Experiments) Speedup(w io.Writer, app string) {
 	shapes := []struct{ w, h int }{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4}}
+	kinds := []ProtocolKind{ProtoAEC, ProtoTM}
+	results := make([]*Result, len(shapes)*len(kinds))
+	runParallel(len(results), e.jobs(), func(i int) {
+		sh := shapes[i/len(kinds)]
+		k := kinds[i%len(kinds)]
+		params := e.Params
+		params.MeshW, params.MeshH = sh.w, sh.h
+		params.NumProcs = sh.w * sh.h
+		results[i] = MustRun(params, e.protocol(k, 2), appsFactory(app)(apps.Config{Scale: e.Scale, BaseSeed: e.BaseSeed}))
+	})
+
 	fmt.Fprintf(w, "Speedup for %s (T1/Tp).\n  %-6s", app, "procs")
-	for _, k := range []ProtocolKind{ProtoAEC, ProtoTM} {
+	for _, k := range kinds {
 		fmt.Fprintf(w, " %10s", k)
 	}
 	fmt.Fprintln(w)
 	base := map[ProtocolKind]uint64{}
-	for _, sh := range shapes {
-		params := e.Params
-		params.MeshW, params.MeshH = sh.w, sh.h
-		params.NumProcs = sh.w * sh.h
-		fmt.Fprintf(w, "  %-6d", params.NumProcs)
-		for _, k := range []ProtocolKind{ProtoAEC, ProtoTM} {
-			factory := appsFactory(app)
-			res := MustRun(params, e.protocol(k, 2), factory(e.Scale))
-			if params.NumProcs == 1 {
+	for si, sh := range shapes {
+		fmt.Fprintf(w, "  %-6d", sh.w*sh.h)
+		for ki, k := range kinds {
+			res := results[si*len(kinds)+ki]
+			if sh.w*sh.h == 1 {
 				base[k] = res.Cycles()
 			}
 			fmt.Fprintf(w, " %9.2fx", float64(base[k])/float64(res.Cycles()))
@@ -258,8 +296,16 @@ func (e *Experiments) Speedup(w io.Writer, app string) {
 	}
 }
 
-// All renders every table and figure in paper order.
+// All renders every table and figure in paper order. The union of every
+// table's key set is submitted to the scheduler up front, so the worker
+// pool drains the whole suite at maximum width instead of per-table
+// batches.
 func (e *Experiments) All(w io.Writer) {
+	all := []ProtocolKind{ProtoIdeal, ProtoAEC, ProtoAECNoLAP, ProtoTM, ProtoTMLH, ProtoMunin, ProtoMuninLAP}
+	var keys []runKey
+	keys = append(keys, keysFor(AllApps(), all)...)
+	keys = append(keys, keysFor(LockApps(), []ProtocolKind{ProtoAEC}, 1, 2, 3)...)
+	e.prefetch(keys)
 	sep := strings.Repeat("-", 78)
 	e.Table1(w)
 	fmt.Fprintln(w, sep)

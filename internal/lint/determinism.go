@@ -68,7 +68,7 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 		case "math/rand", "math/rand/v2":
 			sig, _ := fn.Type().(*types.Signature)
 			if sig != nil && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
-				uses = append(uses, use{id.Pos(), "global math/rand." + fn.Name() + " draws from a shared process-wide stream: use the seeded apps.StreamRand source"})
+				uses = append(uses, use{id.Pos(), "global math/rand." + fn.Name() + " draws from a shared process-wide stream: use a per-run apps.Config stream"})
 			}
 		}
 	}

@@ -18,6 +18,33 @@ func TestSinglethread(t *testing.T) {
 	analysistest.Run(t, "testdata", "singlethread", lint.Singlethread)
 }
 
+// TestCrossengine pins the //dsmvet:crossengine exemption: the scheduler
+// shape (worker pool + mutex-guarded cache over isolated runs) is silent
+// in a marked file, while engine-internal primitive calls in the same
+// package are still reported.
+func TestCrossengine(t *testing.T) {
+	analysistest.Run(t, "testdata", "crossengine", lint.Singlethread)
+}
+
+// TestCrossengineDirective checks the marker's own hygiene: a directive
+// without a reason is reported (on the directive line, hence asserted here
+// rather than via want comments), and the exemption still applies so the
+// missing reason is the only finding.
+func TestCrossengineDirective(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata", "crossenginebad")
+	findings, err := lint.RunPackage(pkg, []*analysis.Analyzer{lint.Singlethread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding (missing reason), got %d:\n%v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "missing its mandatory reason") ||
+		!strings.Contains(findings[0].Message, "crossengine") {
+		t.Errorf("unexpected finding: %v", findings[0])
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", "determinism", lint.Determinism)
 }

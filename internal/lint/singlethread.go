@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 
 	"aecdsm/internal/lint/analysis"
 )
@@ -15,19 +16,61 @@ import (
 // Goroutines, channel operations, select statements and sync/sync-atomic
 // primitives are forbidden inside the single-runner core; only the
 // engine's coroutine handoff may use them, behind //dsmvet:allow.
+//
+// The driver layers (harness, check) are in scope too, with one
+// deliberately different boundary: a file carrying a
+//
+//	//dsmvet:crossengine <reason>
+//
+// marker declares that its concurrency runs *between* isolated engines
+// (the parallel experiment scheduler), never inside one. Such a file is
+// exempt from the concurrency bans, but in exchange it must not touch any
+// engine-internal primitive — calling one from cross-engine code would
+// put two runners inside a single engine, the exact bug this analyzer
+// exists to prevent.
 var Singlethread = &analysis.Analyzer{
 	Name: "singlethread",
 	Doc: "forbid go statements, channel operations and sync primitives in the " +
 		"cooperatively-scheduled simulator core (engine.go: \"no locking is " +
-		"needed anywhere\"); only the engine coroutine handoff is exempt",
+		"needed anywhere\"); only the engine coroutine handoff is exempt, plus " +
+		"//dsmvet:crossengine files whose concurrency is across isolated engines",
 	Run: runSinglethread,
 }
 
+// singlethreadScope is the single-runner core plus the driver layers that
+// may host cross-engine scheduling (in marked files only).
+var singlethreadScope = append([]string{"harness", "check"}, protocolScope...)
+
+// crossenginePrefix marks a whole file as cross-engine scheduler code.
+const crossenginePrefix = "//dsmvet:crossengine"
+
+// crossengineMarker finds a file's //dsmvet:crossengine directive,
+// returning its position and trailing reason.
+func crossengineMarker(file *ast.File) (pos token.Pos, reason string, ok bool) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if c.Text == crossenginePrefix || strings.HasPrefix(c.Text, crossenginePrefix+" ") {
+				return c.Pos(), strings.TrimSpace(strings.TrimPrefix(c.Text, crossenginePrefix)), true
+			}
+		}
+	}
+	return token.NoPos, "", false
+}
+
 func runSinglethread(pass *analysis.Pass) (any, error) {
-	if !inRepoScope(pass.Pkg.Path(), protocolScope...) {
+	if !inRepoScope(pass.Pkg.Path(), singlethreadScope...) {
 		return nil, nil
 	}
+	var crossFiles []*ast.File
 	for _, file := range pass.Files {
+		if pos, reason, ok := crossengineMarker(file); ok {
+			if reason == "" {
+				pass.Reportf(pos, "//dsmvet:crossengine is missing its mandatory reason")
+			}
+			crossFiles = append(crossFiles, file)
+			checkCrossengineFile(pass, file)
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.GoStmt:
@@ -63,6 +106,15 @@ func runSinglethread(pass *analysis.Pass) (any, error) {
 
 	// Any use of sync or sync/atomic: the core's whole design premise is
 	// that no locking is needed anywhere (see sim.Engine's doc comment).
+	// Cross-engine files coordinate isolated engines and are exempt.
+	inCross := func(pos token.Pos) bool {
+		for _, f := range crossFiles {
+			if pos >= f.FileStart && pos <= f.FileEnd {
+				return true
+			}
+		}
+		return false
+	}
 	type use struct {
 		pos  token.Pos
 		name string
@@ -70,6 +122,9 @@ func runSinglethread(pass *analysis.Pass) (any, error) {
 	var uses []use
 	for id, obj := range pass.TypesInfo.Uses {
 		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		if inCross(id.Pos()) {
 			continue
 		}
 		if p := obj.Pkg().Path(); p == "sync" || p == "sync/atomic" {
@@ -81,4 +136,25 @@ func runSinglethread(pass *analysis.Pass) (any, error) {
 		pass.Reportf(u.pos, "use of %s in the single-runner core: the simulator guarantees one runner at a time, so locking hides bugs instead of fixing them", u.name)
 	}
 	return nil, nil
+}
+
+// checkCrossengineFile enforces the flip side of the //dsmvet:crossengine
+// exemption: concurrency is allowed, but engine-internal primitives are
+// not — cross-engine code drives whole runs, it never steps inside one
+// engine's cooperative schedule.
+func checkCrossengineFile(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pass.TypesInfo, call)
+		if callee == nil || !blockingPrim(callee) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"engine-internal primitive %s.%s called from a //dsmvet:crossengine file; cross-engine code drives whole isolated runs and must never step inside one engine",
+			recvNamed(callee).Obj().Name(), callee.Name())
+		return true
+	})
 }

@@ -1,0 +1,46 @@
+// Fixture for the //dsmvet:crossengine exemption: this file mirrors the
+// parallel experiment scheduler (internal/harness/sched.go) — a worker
+// pool dispatching fully isolated simulation runs. Its goroutines,
+// channels and mutexes coordinate *between* engines, so none of the
+// concurrency bans fire here.
+//
+//dsmvet:crossengine worker pool over isolated engines; nothing inside one engine is shared
+package crossengine
+
+import "sync"
+
+// run stands in for one fully isolated simulation execution.
+func run(key int) int { return key * 2 }
+
+// cache is the memoized-results map the scheduler guards.
+type cache struct {
+	mu      sync.Mutex
+	results map[int]int
+}
+
+func (c *cache) store(key, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results[key] = v
+}
+
+// prefetch is the cross-engine scheduler shape: fan keys out to a worker
+// pool, collect into the cache. All of this is legal in a marked file.
+func prefetch(c *cache, keys []int) {
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				c.store(k, run(k))
+			}
+		}()
+	}
+	for _, k := range keys {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,17 @@
+// Fixture: a //dsmvet:crossengine file may not touch engine-internal
+// primitives — that would put a second runner inside one engine's
+// cooperative schedule, the exact bug the exemption must not reopen.
+//
+//dsmvet:crossengine marked so the analyzer checks the engine-internal ban
+package crossengine
+
+import (
+	"sim"
+	"stats"
+)
+
+// stepInside illegally drives a processor from scheduler code.
+func stepInside(p *sim.Proc) {
+	p.Advance(10, stats.Busy) // want `engine-internal primitive Proc\.Advance called from a //dsmvet:crossengine file`
+	p.Checkpoint()            // want `engine-internal primitive Proc\.Checkpoint called from a //dsmvet:crossengine file`
+}

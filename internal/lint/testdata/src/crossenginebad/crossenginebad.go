@@ -1,0 +1,12 @@
+// Fixture: a //dsmvet:crossengine marker without a reason is itself a
+// finding (checked by TestCrossengineDirective, not want comments, since
+// the finding lands on the directive's own line).
+//
+//dsmvet:crossengine
+package crossenginebad
+
+// spawn would normally be banned; the (malformed) marker still exempts it
+// so the missing-reason finding is the only diagnostic.
+func spawn(work func()) {
+	go work()
+}

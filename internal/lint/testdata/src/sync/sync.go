@@ -10,3 +10,15 @@ func (m *Mutex) Lock() {}
 
 // Unlock unlocks m.
 func (m *Mutex) Unlock() {}
+
+// WaitGroup waits for a collection of goroutines to finish.
+type WaitGroup struct{}
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done() {}
+
+// Wait blocks until the counter is zero.
+func (wg *WaitGroup) Wait() {}

@@ -1,0 +1,214 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// randomPagePair derives a (twin, cur) pair of size ps from a modification
+// seed, mutating pseudo-random word-aligned-ish byte positions.
+func randomPagePair(ps int, mods []byte) (twin, cur []byte) {
+	twin = make([]byte, ps)
+	cur = make([]byte, ps)
+	for i := range twin {
+		twin[i] = byte(i * 31)
+		cur[i] = twin[i]
+	}
+	for i, b := range mods {
+		cur[(int(b)*13+i*7)%ps] = byte(i + 1)
+	}
+	return twin, cur
+}
+
+// TestCoversBitmapOracle: Covers must agree with a bitmap oracle built by
+// applying the diff onto a presence map, for arbitrary diffs and every
+// byte offset of the page.
+func TestCoversBitmapOracle(t *testing.T) {
+	f := func(mods []byte) bool {
+		const ps = 256
+		twin, cur := randomPagePair(ps, mods)
+		d := MakeDiff(0, twin, cur, 4)
+		oracle := make([]bool, ps)
+		if d != nil {
+			for _, r := range d.Runs {
+				for i := r.Off; i < r.Off+len(r.Data); i++ {
+					oracle[i] = true
+				}
+			}
+		}
+		for off := 0; off < ps; off++ {
+			got := false
+			if d != nil {
+				got = d.Covers(off)
+			}
+			if got != oracle[off] {
+				t.Logf("Covers(%d) = %v, oracle %v", off, got, oracle[off])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoversMergedDiff runs the oracle over merged diffs too, whose runs
+// come from the Merger's present-scan rather than MakeDiff.
+func TestCoversMergedDiff(t *testing.T) {
+	f := func(mods1, mods2 []byte) bool {
+		const ps = 256
+		base, v1 := randomPagePair(ps, mods1)
+		v2 := append([]byte(nil), v1...)
+		for i, b := range mods2 {
+			v2[(int(b)*17+i*5)%ps] = byte(i + 200)
+		}
+		d := MergeDiffs(ps, MakeDiff(0, base, v1, 4), MakeDiff(0, v1, v2, 4))
+		oracle := make([]bool, ps)
+		if d != nil {
+			for _, r := range d.Runs {
+				for i := r.Off; i < r.Off+len(r.Data); i++ {
+					oracle[i] = true
+				}
+			}
+		}
+		for off := 0; off < ps; off++ {
+			got := false
+			if d != nil {
+				got = d.Covers(off)
+			}
+			if got != oracle[off] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMakeDiffFastMatchesGeneric pins the uint64 fast path to the generic
+// word-by-word reference for every supported word size.
+func TestMakeDiffFastMatchesGeneric(t *testing.T) {
+	for _, wordBytes := range []int{1, 2, 4, 8} {
+		wordBytes := wordBytes
+		f := func(mods []byte) bool {
+			const ps = 128
+			twin, cur := randomPagePair(ps, mods)
+			fast := MakeDiff(0, twin, cur, wordBytes)
+			ref := makeDiffGeneric(0, twin, cur, wordBytes)
+			if (fast == nil) != (ref == nil) {
+				return false
+			}
+			if fast == nil {
+				return true
+			}
+			if len(fast.Runs) != len(ref.Runs) {
+				return false
+			}
+			for i := range fast.Runs {
+				if fast.Runs[i].Off != ref.Runs[i].Off ||
+					!bytes.Equal(fast.Runs[i].Data, ref.Runs[i].Data) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("wordBytes=%d: %v", wordBytes, err)
+		}
+	}
+}
+
+// TestMakeDiffOddGeometry exercises the generic fallback (word size not
+// dividing 8, page size not a multiple of 8) through the public entry.
+func TestMakeDiffOddGeometry(t *testing.T) {
+	twin := make([]byte, 30)
+	cur := make([]byte, 30)
+	cur[2] = 1
+	cur[29] = 7 // inside the trailing partial word
+	d := MakeDiff(0, twin, cur, 3)
+	out := make([]byte, 30)
+	d.Apply(out)
+	if !bytes.Equal(out, cur) {
+		t.Fatalf("round trip failed: %v vs %v", out, cur)
+	}
+}
+
+// TestMergerMatchesMergeDiffs: a reused Merger produces the same merges as
+// the allocating wrapper, back to back, with scratch correctly cleared
+// between calls.
+func TestMergerMatchesMergeDiffs(t *testing.T) {
+	const ps = 256
+	m := NewMerger(ps)
+	f := func(mods1, mods2 []byte) bool {
+		base, v1 := randomPagePair(ps, mods1)
+		v2 := append([]byte(nil), v1...)
+		for i, b := range mods2 {
+			v2[(int(b)*17+i*3)%ps] = byte(i + 200)
+		}
+		d1 := MakeDiff(0, base, v1, 4)
+		d2 := MakeDiff(0, v1, v2, 4)
+		got := m.Merge(d1, d2)
+		want := MergeDiffs(ps, d1, d2)
+		if (got == nil) != (want == nil) {
+			return false
+		}
+		if got == nil {
+			return true
+		}
+		if len(got.Runs) != len(want.Runs) {
+			return false
+		}
+		for i := range got.Runs {
+			if got.Runs[i].Off != want.Runs[i].Off ||
+				!bytes.Equal(got.Runs[i].Data, want.Runs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeIntoReuse: the steady-state path reuses dst and still merges
+// correctly run after run.
+func TestMergeIntoReuse(t *testing.T) {
+	const ps = 256
+	m := NewMerger(ps)
+	var dst *Diff
+	for round := 0; round < 50; round++ {
+		mods1 := []byte{byte(round), byte(round * 3), byte(round * 7)}
+		mods2 := []byte{byte(round * 5), byte(round*11 + 1)}
+		base, v1 := randomPagePair(ps, mods1)
+		v2 := append([]byte(nil), v1...)
+		for i, b := range mods2 {
+			v2[(int(b)*17+i)%ps] = byte(i + 200)
+		}
+		d1 := MakeDiff(0, base, v1, 4)
+		d2 := MakeDiff(0, v1, v2, 4)
+		var ok bool
+		dst, ok = m.MergeInto(dst, d1, d2)
+		if !ok {
+			t.Fatalf("round %d: no modifications reported", round)
+		}
+		out := append([]byte(nil), base...)
+		dst.Apply(out)
+		if !bytes.Equal(out, v2) {
+			t.Fatalf("round %d: MergeInto result does not reproduce final state", round)
+		}
+	}
+}
+
+// TestMergeIntoEmpty: merging nothing leaves dst untouched and reports
+// false.
+func TestMergeIntoEmpty(t *testing.T) {
+	m := NewMerger(64)
+	if _, ok := m.MergeInto(nil, nil, nil); ok {
+		t.Fatal("merging nils should report no modifications")
+	}
+}

@@ -46,7 +46,7 @@ func TestMuninAllApps(t *testing.T) {
 			name, lap := name, lap
 			t.Run(name, func(t *testing.T) {
 				res := harness.Run(memsys.Default(),
-					munin.New(munin.Options{UseLAP: lap}), apps.Registry[name](0.1))
+					munin.New(munin.Options{UseLAP: lap}), apps.Registry[name](apps.Config{Scale: 0.1}))
 				if res.Deadlocked {
 					t.Fatal("deadlocked")
 				}
@@ -67,9 +67,9 @@ func TestMuninAllApps(t *testing.T) {
 func TestLAPRestrictsUpdateTraffic(t *testing.T) {
 	for _, app := range []string{"IS", "Water-ns"} {
 		base := harness.MustRun(memsys.Default(), munin.New(munin.Options{}),
-			apps.Registry[app](0.1))
+			apps.Registry[app](apps.Config{Scale: 0.1}))
 		withLAP := harness.MustRun(memsys.Default(), munin.New(munin.Options{UseLAP: true, Ns: 2}),
-			apps.Registry[app](0.1))
+			apps.Registry[app](apps.Config{Scale: 0.1}))
 
 		updates := func(r *harness.Result) uint64 {
 			return r.Run.Sum(func(p *stats.Proc) uint64 { return p.UpdateBytesPushed })

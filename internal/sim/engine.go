@@ -121,7 +121,7 @@ func (e *Engine) step(p *Proc) {
 	//dsmvet:allow singlethread engine coroutine handoff: resume the runner, then wait for it to yield
 	switch <-p.yieldCh {
 	case yieldPaused:
-		e.schedule(p.Clock, func() { e.step(p) })
+		e.scheduleStep(p.Clock, p)
 	case yieldBlocked:
 		// Nothing: a Wake will reschedule it.
 	case yieldDone:
@@ -148,7 +148,7 @@ func (e *Engine) Start() Time {
 			//dsmvet:allow singlethread engine coroutine handoff: signal the body has returned
 			p.yieldCh <- yieldDone
 		}()
-		e.schedule(0, func() { e.step(p) })
+		e.scheduleStep(0, p)
 	}
 	for e.finished < len(e.Procs) {
 		if len(e.events) == 0 {
@@ -157,7 +157,11 @@ func (e *Engine) Start() Time {
 		}
 		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.step(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 	var max Time
 	for _, p := range e.Procs {

@@ -22,7 +22,12 @@ const Forever = ^Time(0)
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	// Exactly one of proc and fn is set: proc marks the dominant
+	// "resume processor p" event without allocating a closure for it
+	// (the event loop calls e.step(proc) directly); fn carries every
+	// other scheduled action.
+	proc *Proc
+	fn   func()
 }
 
 type eventHeap []event
@@ -47,6 +52,14 @@ func (h *eventHeap) Pop() any {
 func (e *Engine) schedule(at Time, fn func()) {
 	e.seq++
 	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// scheduleStep schedules the hot-path "resume processor p" event. The
+// processor pointer rides in the event itself, so the per-cycle reschedule
+// of every running processor costs no closure allocation.
+func (e *Engine) scheduleStep(at Time, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
 }
 
 // nextEventTime peeks the earliest pending event time.

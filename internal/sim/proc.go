@@ -158,7 +158,7 @@ func (p *Proc) Wake(at Time) {
 	}
 	p.blocked = false // consumed; prevents double resume events
 	p.wakeAt = at
-	p.Eng.schedule(at, func() { p.Eng.step(p) })
+	p.Eng.scheduleStep(at, p)
 }
 
 // Blocked reports whether the processor is parked waiting for a Wake.
