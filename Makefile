@@ -26,7 +26,9 @@ lint:
 fuzz:
 	$(GO) run ./cmd/fuzzdsm -iters 50
 
-# Diff/merge kernel microbenchmarks, recorded as a JSON stream so the perf
-# trajectory is diffable across PRs (docs/PERFORMANCE.md).
+# Diff/merge kernel microbenchmarks plus the scaling-sweep timing,
+# recorded as JSON streams so the perf trajectory is diffable across PRs
+# (docs/PERFORMANCE.md, docs/SCALING.md).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMakeDiff|BenchmarkMergeDiffs' -benchmem -json . | tee BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'BenchmarkScaling' -timeout 30m -json . | tee BENCH_scaling.json

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 
 	"aecdsm"
@@ -234,6 +235,27 @@ func benchPagePair(kind string) (twin, cur []byte) {
 		panic("unknown page kind " + kind)
 	}
 	return twin, cur
+}
+
+// BenchmarkScaling regenerates the scaling sweep (docs/SCALING.md) at a
+// small problem scale and machine sizes 16 and 64 — big enough to engage
+// the combining tree and the sharded managers, small enough for CI. Set
+// AEC_BENCH_SCALING_PROCS to sweep larger machines.
+func BenchmarkScaling(b *testing.B) {
+	procs := []int{16, 64}
+	if s := os.Getenv("AEC_BENCH_SCALING_PROCS"); s != "" {
+		procs = procs[:0]
+		for _, f := range strings.Split(s, ",") {
+			if v, err := strconv.Atoi(strings.TrimSpace(f)); err == nil && v > 0 {
+				procs = append(procs, v)
+			}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		e := aecdsm.NewExperiments(0.1)
+		e.Jobs = benchJobs()
+		e.ScalingSweep(benchOut(), "Ocean", procs)
+	}
 }
 
 // BenchmarkMakeDiff measures the twin-compare kernel on the three page

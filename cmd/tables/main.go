@@ -14,6 +14,15 @@
 //	tables -table munin    # LAP restricting Munin's update traffic (§1)
 //	tables -table overview # all seven protocols, normalized runtimes
 //	tables -table speedup  # scalability sweep 1-32 processors
+//	tables -scaling        # 16/64/256-processor scaling-architecture sweep
+//	tables -scaling -scaling-procs 16,64,256,1024 -scaling-app Ocean
+//
+// The -scaling sweep runs the machine with the scaling architecture
+// enabled (radix-16 barrier combining, hash-sharded homes and lock
+// managers; see docs/SCALING.md) at each requested processor count and
+// reports runtime, LAP accuracy, recovery overhead under light faults
+// and remote references per synchronization operation for the ideal,
+// AEC, TreadMarks and Munin protocols.
 //
 // With -trace / -metrics every simulation the selected tables run is
 // traced into one combined event stream (see docs/OBSERVABILITY.md); a
@@ -30,9 +39,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"aecdsm"
 )
+
+// parseProcs parses the -scaling-procs machine-size list.
+func parseProcs(spec string) ([]int, error) {
+	var procs []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scaling-procs entry %q", f)
+		}
+		procs = append(procs, n)
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("-scaling-procs is empty")
+	}
+	return procs, nil
+}
 
 func main() {
 	var (
@@ -43,6 +70,10 @@ func main() {
 		traceFile = flag.String("trace", "", "write the protocol event trace to this file")
 		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
 		metrics   = flag.String("metrics", "", "write the per-lock/per-page metrics summary (JSON) to this file")
+
+		scaling      = flag.Bool("scaling", false, "run the scaling-architecture sweep (docs/SCALING.md)")
+		scalingProcs = flag.String("scaling-procs", "16,64,256", "comma-separated machine sizes for -scaling")
+		scalingApp   = flag.String("scaling-app", "Ocean", "application for -scaling")
 	)
 	flag.Parse()
 
@@ -98,6 +129,13 @@ func main() {
 	}()
 
 	switch {
+	case *scaling:
+		procs, err := parseProcs(*scalingProcs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(2)
+		}
+		e.ScalingSweep(w, *scalingApp, procs)
 	case *table == "" && *figure == "":
 		e.All(w)
 	case *table == "1":

@@ -21,12 +21,15 @@ import (
 	"fmt"
 	"sort"
 
+	"aecdsm/internal/bitset"
 	"aecdsm/internal/lap"
 
 	"aecdsm/internal/mem"
+	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/topo"
 	"aecdsm/internal/trace"
 )
 
@@ -49,6 +52,7 @@ const (
 	kBarWN
 	kBarReady
 	kBarComplete
+	kBarInstrBatch
 )
 
 // Options configures an AEC instance.
@@ -86,6 +90,7 @@ type AEC struct {
 
 	locks []*lockState
 	bar   barrierState
+	tree  topo.Tree // barrier combining tree (flat when BarrierRadix is 0)
 
 	nprocs   int
 	pageSize int
@@ -134,13 +139,11 @@ func (pr *AEC) LockLAP(lock int) lap.Stats {
 
 // Attach implements proto.Protocol.
 func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
-	if len(ctxs) > 32 {
-		panic("aec: barrier copysets support at most 32 processors")
-	}
 	pr.e = e
 	pr.s = s
 	pr.ctxs = ctxs
 	pr.nprocs = len(ctxs)
+	pr.tree = topo.New(pr.nprocs, e.Params.BarrierRadix)
 	pr.pageSize = s.PageSize()
 	pr.merger = mem.NewMerger(pr.pageSize)
 	pages := s.Pages()
@@ -165,12 +168,12 @@ func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	}
 	pr.bar = barrierState{
 		arrivals: make([]*arriveMsg, pr.nprocs),
-		copyset:  make([]uint32, pages),
+		copyset:  make([]bitset.Set, pages),
 		homes:    make([]int, pages),
 	}
 	for pg := range pr.bar.copyset {
 		home := s.InitHome(pg)
-		pr.bar.copyset[pg] = 1 << uint(home)
+		pr.bar.copyset[pg] = bitset.With(pr.nprocs, home)
 		pr.bar.homes[pg] = home
 	}
 }
@@ -206,9 +209,16 @@ func (pr *AEC) debugf(proc, page int, format string, args ...any) {
 	}
 }
 
-// mgrOf returns the managing processor of a lock (distributed, as in the
-// paper's lock managers).
-func (pr *AEC) mgrOf(lock int) int { return lock % pr.nprocs }
+// mgrOf returns the managing processor of a lock: round-robin as in the
+// paper, or hash-sharded under the scaling architecture, which
+// decorrelates manager placement from application lock numbering
+// (docs/SCALING.md).
+func (pr *AEC) mgrOf(lock int) int {
+	if pr.e.Params.ShardManagers {
+		return memsys.ShardAssign(lock, pr.nprocs)
+	}
+	return lock % pr.nprocs
+}
 
 // barMgr is the barrier manager's processor.
 const barMgr = 0

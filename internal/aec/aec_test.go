@@ -266,3 +266,32 @@ func TestDumpStateSmoke(t *testing.T) {
 	}
 	pr.DumpState() // all locks idle: prints only processor lines
 }
+
+// TestBarrier64Procs is the regression test for the former
+// "aec: barrier copysets support at most 32 processors" panic: barrier
+// copysets are growable bitsets now, so the same barrier-heavy chain
+// program runs unchanged on a 64-node (8x8) mesh. The second subtest
+// turns on the full scaling architecture (radix-16 barrier combining,
+// hash-sharded homes and lock managers; docs/SCALING.md) and demands
+// the same program-level result.
+func TestBarrier64Procs(t *testing.T) {
+	flat := memsys.Default().ForProcs(64)
+	scaled := flat
+	scaled.BarrierRadix = 16
+	scaled.ShardHomes = true
+	scaled.ShardManagers = true
+	for _, tc := range []struct {
+		name string
+		p    memsys.Params
+	}{{"flat", flat}, {"scaled", scaled}} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := harness.Run(tc.p, aec.New(aec.DefaultOptions()), apps.NewCounter(3, 64, 8))
+			if res.Deadlocked {
+				t.Fatal("deadlocked")
+			}
+			if res.VerifyErr != nil {
+				t.Fatal(res.VerifyErr)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package aec
 import (
 	"sort"
 
+	"aecdsm/internal/bitset"
 	"aecdsm/internal/mem"
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
@@ -53,8 +54,9 @@ func (pr *AEC) Barrier(c *proto.Ctx) {
 
 	st.barInstr = nil
 	st.barComplete = false
-	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 16+8*elems,
-		&arriveMsg{proc: c.ID, owned: owned, outside: outside, newValid: newValid},
+	pr.e.SendFrom(c.P, stats.Synch, pr.tree.ArrivalDest(c.ID), kBarArrive, 16+8*elems,
+		&arriveBatch{arr: []*arriveMsg{
+			{proc: c.ID, owned: owned, outside: outside, newValid: newValid}}},
 		pr.handleBarArrive)
 
 	// Overlap outside-diff creation with the barrier wait (§3.3): only
@@ -113,7 +115,7 @@ func (pr *AEC) Barrier(c *proto.Ctx) {
 	c.P.WaitUntil(func() bool {
 		return st.barDiffsGot >= instr.expDiffs && st.barWNsGot >= instr.expWNs
 	}, stats.Synch)
-	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarReady, 8, c.ID, pr.handleBarReady)
+	pr.e.SendFrom(c.P, stats.Synch, pr.tree.ArrivalDest(c.ID), kBarReady, 8, 1, pr.handleBarReady)
 	c.P.WaitTag = "barcomplete"
 	c.P.WaitUntil(func() bool { return st.barComplete }, stats.Synch)
 
@@ -182,19 +184,40 @@ func (pr *AEC) lazyOutsideDiff(s *sim.Svc, st *procState, pg int) {
 	writeProtect(f)
 }
 
-// handleBarArrive collects arrival lists at the barrier manager and, when
-// the last processor arrives, computes and distributes the exchange
-// instructions.
+// handleBarArrive collects arrival lists. At an interior node of the
+// combining tree it aggregates its subtree's arrivals into one batched
+// upstream message; at the manager (the tree root), once the last
+// processor is in, it computes and distributes the exchange
+// instructions. In the flat barrier every message lands directly at the
+// manager, exactly as in the seed.
 func (pr *AEC) handleBarArrive(s *sim.Svc, m *sim.Msg) {
-	a := m.Payload.(*arriveMsg)
-	b := &pr.bar
-	b.arrivals[a.proc] = a
-	b.got++
-	elems := len(a.outside) + len(a.newValid)
-	for _, o := range a.owned {
-		elems += 1 + len(o.pages)
+	batch := m.Payload.(*arriveBatch)
+	elems := 0
+	for _, a := range batch.arr {
+		elems += a.elems()
 	}
 	s.ChargeList(elems)
+	if m.To != barMgr {
+		st := pr.ps[m.To]
+		st.combArr = append(st.combArr, batch.arr...)
+		if len(st.combArr) < pr.tree.SubtreeSize(m.To) {
+			return
+		}
+		size := 16 + 16*(len(st.combArr)-1)
+		for _, a := range st.combArr {
+			size += 8 * a.elems()
+		}
+		s.ChargeList(len(st.combArr))
+		pr.sendFromSvc(s, pr.tree.Parent(m.To), kBarArrive, size,
+			&arriveBatch{arr: st.combArr}, pr.handleBarArrive)
+		st.combArr = nil
+		return
+	}
+	b := &pr.bar
+	for _, a := range batch.arr {
+		b.arrivals[a.proc] = a
+		b.got++
+	}
 	if b.got < pr.nprocs {
 		return
 	}
@@ -214,9 +237,8 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 
 	// Fold newly-valid pages into the copyset.
 	for _, a := range b.arrivals {
-		bit := uint32(1) << uint(a.proc)
 		for _, pg := range a.newValid {
-			b.copyset[pg] |= bit
+			b.copyset[pg] = b.copyset[pg].Add(a.proc)
 		}
 	}
 
@@ -252,12 +274,11 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 			touched[pg] = true
 			csOwner[pg] = rec.proc
 			var targets []int
-			mask := b.copyset[pg] &^ (1 << uint(rec.proc))
-			for q := 0; q < pr.nprocs; q++ {
-				if mask&(1<<uint(q)) != 0 {
+			b.copyset[pg].ForEach(func(q int) {
+				if q != rec.proc {
 					targets = append(targets, q)
 				}
-			}
+			})
 			if len(targets) == 0 {
 				continue
 			}
@@ -271,19 +292,18 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 	}
 
 	// Write notices: each outside writer notifies valid-copy holders.
-	invalidated := map[int]uint32{} // page -> bits losing their copy
+	invalidated := map[int]bitset.Set{} // page -> procs losing their copy
 	for pnum := 0; pnum < pr.nprocs; pnum++ {
 		a := b.arrivals[pnum]
 		for _, pg := range a.outside {
 			touched[pg] = true
 			writers[pg] = append(writers[pg], pnum)
-			mask := b.copyset[pg] &^ (1 << uint(pnum))
 			var targets []int
-			for q := 0; q < pr.nprocs; q++ {
-				if mask&(1<<uint(q)) != 0 {
+			b.copyset[pg].ForEach(func(q int) {
+				if q != pnum {
 					targets = append(targets, q)
 				}
-			}
+			})
 			if len(targets) == 0 {
 				continue
 			}
@@ -293,7 +313,11 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 			for _, q := range targets {
 				instr[q].expWNs++
 			}
-			invalidated[pg] |= mask
+			inv := invalidated[pg]
+			for _, q := range targets {
+				inv = inv.Add(q)
+			}
+			invalidated[pg] = inv
 			work += len(targets)
 		}
 	}
@@ -308,10 +332,11 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 	sort.Ints(pages)
 	var homes []homeAssign
 	for _, pg := range pages {
-		surviving := b.copyset[pg] &^ invalidated[pg]
+		surviving := b.copyset[pg].Clone()
+		surviving.AndNot(invalidated[pg])
 		// Writers never lose their own copy.
 		for _, w := range writers[pg] {
-			surviving |= 1 << uint(w)
+			surviving = surviving.Add(w)
 		}
 		b.copyset[pg] = surviving
 		home := -1
@@ -320,12 +345,7 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 		} else if ws := writers[pg]; len(ws) > 0 {
 			home = ws[0]
 		} else {
-			for q := 0; q < pr.nprocs; q++ {
-				if surviving&(1<<uint(q)) != 0 {
-					home = q
-					break
-				}
-			}
+			home = surviving.Min()
 		}
 		if home >= 0 && home != b.homes[pg] {
 			b.homes[pg] = home
@@ -344,13 +364,50 @@ func (pr *AEC) computeBarrierInstructions(s *sim.Svc) {
 		l.lastUS = nil
 	}
 
-	// Distribute instructions.
+	// Distribute instructions: the manager serves itself, then each of
+	// its tree children — a plain per-processor message for leaf
+	// children (the flat barrier's exact fan-out, in ascending order) and
+	// one batch per interior child, split recursively on the way down.
 	for q := 0; q < pr.nprocs; q++ {
-		in := instr[q]
-		in.homes = homes
-		size := 16 + 8*(len(in.diffSends)+len(in.wnSends)+len(homes))
-		pr.sendFromSvc(s, q, kBarInstr, size, in, pr.handleBarInstr)
+		instr[q].homes = homes
 	}
+	pr.sendInstrSubtree(s, barMgr, instr[:1])
+	for _, c := range pr.tree.Children(barMgr) {
+		pr.sendInstrSubtree(s, c, instr[c:c+pr.tree.SubtreeSize(c)])
+	}
+}
+
+// sendInstrSubtree ships the instructions of the contiguous subtree
+// rooted at c: a plain kBarInstr when the subtree is a single processor,
+// a kBarInstrBatch for an interior representative to split further.
+func (pr *AEC) sendInstrSubtree(s *sim.Svc, c int, ins []*barInstr) {
+	if len(ins) == 1 {
+		in := ins[0]
+		size := 16 + 8*(len(in.diffSends)+len(in.wnSends)+len(in.homes))
+		pr.sendFromSvc(s, c, kBarInstr, size, in, pr.handleBarInstr)
+		return
+	}
+	size := 16 * (len(ins) - 1)
+	for _, in := range ins {
+		size += 16 + 8*(len(in.diffSends)+len(in.wnSends)+len(in.homes))
+	}
+	pr.sendFromSvc(s, c, kBarInstrBatch, size,
+		&instrBatch{base: c, ins: ins}, pr.handleBarInstrBatch)
+}
+
+// handleBarInstrBatch lands a subtree's instructions at its
+// representative: forward each child's slice first, then take our own.
+func (pr *AEC) handleBarInstrBatch(s *sim.Svc, m *sim.Msg) {
+	batch := m.Payload.(*instrBatch)
+	s.ChargeList(len(batch.ins))
+	for _, c := range pr.tree.Children(m.To) {
+		lo := c - batch.base
+		pr.sendInstrSubtree(s, c, batch.ins[lo:lo+pr.tree.SubtreeSize(c)])
+	}
+	in := batch.ins[0]
+	s.ChargeList(len(in.diffSends) + len(in.wnSends))
+	pr.ps[m.To].barInstr = in
+	s.Wake(s.P)
 }
 
 // sendFromSvc sends from the manager's service context. It is a thin
@@ -423,28 +480,53 @@ func (pr *AEC) handleBarWN(s *sim.Svc, m *sim.Msg) {
 	s.Wake(s.P)
 }
 
-// handleBarReady counts ready processors at the manager and broadcasts
-// completion when everyone is done exchanging.
+// handleBarReady counts ready processors — combining counts up the tree
+// — and, at the manager, broadcasts completion down the same edges when
+// the whole machine is done exchanging.
 func (pr *AEC) handleBarReady(s *sim.Svc, m *sim.Msg) {
-	b := &pr.bar
-	b.ready++
+	n := m.Payload.(int)
 	s.ChargeList(1)
+	if m.To != barMgr {
+		st := pr.ps[m.To]
+		st.combReady += n
+		if st.combReady < pr.tree.SubtreeSize(m.To) {
+			return
+		}
+		pr.sendFromSvc(s, pr.tree.Parent(m.To), kBarReady, 8,
+			st.combReady, pr.handleBarReady)
+		st.combReady = 0
+		return
+	}
+	b := &pr.bar
+	b.ready += n
 	if b.ready < pr.nprocs {
 		return
 	}
-	// Episode over: reset manager state and release everyone.
+	// Episode over: reset manager state and release everyone, fanning
+	// out along the tree (self first, then children — ascending ids, so
+	// the flat broadcast order matches the seed exactly).
 	b.got = 0
 	b.ready = 0
 	for i := range b.arrivals {
 		b.arrivals[i] = nil
 	}
-	for q := 0; q < pr.nprocs; q++ {
+	pr.sendFromSvc(s, barMgr, kBarComplete, 8, b.seq, pr.handleBarComplete)
+	for _, q := range pr.tree.Children(barMgr) {
 		pr.sendFromSvc(s, q, kBarComplete, 8, b.seq, pr.handleBarComplete)
 	}
 }
 
-// handleBarComplete releases a processor from the barrier.
+// handleBarComplete releases a processor from the barrier, relaying the
+// completion to its tree children first.
 func (pr *AEC) handleBarComplete(s *sim.Svc, m *sim.Msg) {
+	if m.To != barMgr {
+		if kids := pr.tree.AppendChildren(nil, m.To); len(kids) > 0 {
+			s.ChargeList(len(kids))
+			for _, q := range kids {
+				pr.sendFromSvc(s, q, kBarComplete, 8, m.Payload, pr.handleBarComplete)
+			}
+		}
+	}
 	st := pr.ps[m.To]
 	st.barComplete = true
 	s.Wake(s.P)

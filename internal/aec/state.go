@@ -1,6 +1,7 @@
 package aec
 
 import (
+	"aecdsm/internal/bitset"
 	"aecdsm/internal/lap"
 	"aecdsm/internal/mem"
 )
@@ -97,6 +98,12 @@ type procState struct {
 	// Barrier exchange bookkeeping.
 	barDiffsGot, barWNsGot int
 	barComplete            bool
+
+	// Combining-tree aggregation state: arrivals and ready counts from
+	// this node's subtree, buffered until the subtree is complete and
+	// one batched message goes upstream. Unused in the flat barrier.
+	combArr   []*arriveMsg
+	combReady int
 }
 
 func newProcState(id, pages int, space *mem.Space) *procState {
@@ -176,6 +183,30 @@ type arriveMsg struct {
 	newValid []int // pages that became valid here since the last barrier
 }
 
+// elems counts the list elements of an arrival, the unit of both its
+// wire size and its list-processing cost.
+func (a *arriveMsg) elems() int {
+	n := len(a.outside) + len(a.newValid)
+	for _, o := range a.owned {
+		n += 1 + len(o.pages)
+	}
+	return n
+}
+
+// arriveBatch is the kBarArrive payload: the arrivals of one whole
+// combining-tree subtree. A leaf ships exactly one element, which is the
+// seed's flat arrival message byte for byte.
+type arriveBatch struct {
+	arr []*arriveMsg
+}
+
+// instrBatch carries the per-processor barrier instructions for the
+// contiguous subtree [base, base+len(ins)) down the combining tree.
+type instrBatch struct {
+	base int
+	ins  []*barInstr
+}
+
 // sendDiffInstr instructs the last owner of a lock to send a page's merged
 // diff to the listed processors.
 type sendDiffInstr struct {
@@ -214,7 +245,7 @@ type barrierState struct {
 	arrivals []*arriveMsg
 	got      int
 	ready    int
-	copyset  []uint32 // per page bitmask of processors with valid copies
+	copyset  []bitset.Set // per page set of processors with valid copies
 	homes    []int
 }
 

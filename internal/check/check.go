@@ -54,23 +54,19 @@ func Generate(seed uint64, procs int) Workload {
 }
 
 // Params builds the simulated machine for the workload: the paper's
-// default system with the workload's processor count (near-square mesh)
-// and page size.
+// default system with the workload's processor count (near-square mesh,
+// via the generalized memsys.MeshFor geometry helper) and page size.
+// Above the paper's 16 processors the scaling architecture switches on —
+// radix-16 barrier combining and hash-sharded homes and lock managers —
+// so large differential runs exercise the same configuration the
+// -scaling sweep measures (docs/SCALING.md).
 func (w Workload) Params() memsys.Params {
-	p := memsys.Default()
-	p.NumProcs = w.Procs
-	p.MeshW, p.MeshH = meshFor(w.Procs)
+	p := memsys.Default().ForProcs(w.Procs)
 	p.PageSize = w.PageSize
-	return p
-}
-
-// meshFor factors n into the most nearly square w x h mesh (w <= h).
-func meshFor(n int) (int, int) {
-	best := 1
-	for w := 1; w*w <= n; w++ {
-		if n%w == 0 {
-			best = w
-		}
+	if w.Procs > 16 {
+		p.BarrierRadix = 16
+		p.ShardHomes = true
+		p.ShardManagers = true
 	}
-	return best, n / best
+	return p
 }

@@ -59,6 +59,10 @@ func RunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr t
 func RunFaultTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer, fcfg *fault.Config) *Result {
 	space := mem.NewSpace(params.PageSize)
 	prog.Init(space, params.NumProcs)
+	if params.ShardHomes {
+		// Rehome before Attach: protocols capture their home maps there.
+		space.Rehome(func(pg int) int { return memsys.ShardAssign(pg, params.NumProcs) })
+	}
 	if nl, ok := pr.(proto.NumLocksProvider); ok {
 		nl.SetNumLocks(prog.NumLocks())
 	}

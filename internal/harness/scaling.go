@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"aecdsm/internal/apps"
+	"aecdsm/internal/fault"
+	"aecdsm/internal/memsys"
+	"aecdsm/internal/stats"
+)
+
+// ScalingKinds are the four protocols the scaling sweep compares: the
+// ideal shared-memory machine (the cache-coherent reference point) and
+// the three software DSM protocols.
+func ScalingKinds() []ProtocolKind {
+	return []ProtocolKind{ProtoIdeal, ProtoAEC, ProtoTM, ProtoMunin}
+}
+
+// scalingCell is the measurement of one (procs, protocol) configuration:
+// a clean run for runtime/LAP/traffic plus a light-fault run for the
+// recovery overhead column.
+type scalingCell struct {
+	res     *Result
+	lapRate float64 // overall LAP full-hit rate, -1 when not recorded
+	recPct  float64 // recovery overhead under the "light" fault preset, %
+}
+
+// remRefsPerSync returns the run's remote references per synchronization
+// operation: messages sent per lock acquire or barrier arrival. This is
+// the sweep's stand-in for Golab's CC-vs-DSM remote-reference metric —
+// under the ideal (cache-coherent-like) machine it stays flat as the
+// machine grows, while the DSM protocols' consistency fan-out makes it
+// climb with the processor count (docs/SCALING.md).
+func remRefsPerSync(r *Result) float64 {
+	msgs := r.Run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent })
+	syncs := r.Run.Sum(func(p *stats.Proc) uint64 { return p.LockAcquires + p.BarrierArrivals })
+	if syncs == 0 {
+		return 0
+	}
+	return float64(msgs) / float64(syncs)
+}
+
+// scalingParams is the machine configuration the sweep runs at every
+// size: the paper's Table 1 node on an N-processor near-square mesh with
+// the full scaling architecture enabled — radix-16 barrier combining and
+// hash-sharded homes and lock managers — so every row measures the same
+// architecture and only the machine size varies. At 16 processors the
+// radix-16 tree degenerates to the paper's flat barrier.
+func (e *Experiments) scalingParams(n int) memsys.Params {
+	p := e.Params.ForProcs(n)
+	p.BarrierRadix = 16
+	p.ShardHomes = true
+	p.ShardManagers = true
+	return p
+}
+
+// ScalingSweep measures app at every requested machine size under the
+// four ScalingKinds protocols and renders the sweep table: runtime,
+// runtime relative to the ideal machine at the same size, LAP full-hit
+// rate, recovery overhead under the "light" fault preset, and remote
+// references per synchronization operation. Machine shapes vary per run,
+// so the runs bypass the memo cache and fan out through runParallel into
+// an ordered grid, exactly like the Speedup table (docs/SCALING.md).
+func (e *Experiments) ScalingSweep(w io.Writer, app string, procsList []int) {
+	kinds := ScalingKinds()
+	cells := make([]scalingCell, len(procsList)*len(kinds))
+	fcfg, err := fault.ParseSpec("light")
+	if err != nil {
+		panic("harness: light fault preset: " + err.Error())
+	}
+	runParallel(len(cells)*2, e.jobs(), func(i int) {
+		slot := i / 2
+		n := procsList[slot/len(kinds)]
+		k := kinds[slot%len(kinds)]
+		params := e.scalingParams(n)
+		prog := appsFactory(app)(apps.Config{Scale: e.Scale, BaseSeed: e.BaseSeed})
+		pr := e.protocol(k, 2)
+		if i%2 == 0 {
+			res := MustRun(params, pr, prog)
+			cells[slot].res = res
+			cells[slot].lapRate = -1
+			if a, ok := pr.(lapReporter); ok {
+				var groups []apps.LockGroup
+				if g, ok := prog.(apps.LockGrouper); ok {
+					groups = g.LockGroups()
+				}
+				cells[slot].lapRate = OverallLAPRate(harvestLAP(a, groups))
+			}
+			return
+		}
+		// Fault-injected twin of the same configuration: recovery
+		// overhead as a share of the machine's total busy cycles.
+		res := RunFaultTraced(params, pr, prog, nil, &fcfg)
+		if res.Deadlocked {
+			panic(fmt.Sprintf("harness: scaling %s/%s at %d procs deadlocked under faults", app, k, n))
+		}
+		b := res.Run.TotalBreakdown()
+		cells[slot].recPct = pct(b[stats.Recovery], b.Total())
+	})
+
+	fmt.Fprintf(w, "Scaling sweep: %s at scale %.2f (docs/SCALING.md).\n", app, e.Scale)
+	fmt.Fprintf(w, "Radix-16 barrier combining, hash-sharded homes and lock managers at every size.\n")
+	fmt.Fprintf(w, "recov%% = recovery overhead under the \"light\" fault preset;\n")
+	fmt.Fprintf(w, "remref/sync = messages per lock acquire or barrier arrival (Golab's CC-vs-DSM shape:\n")
+	fmt.Fprintf(w, "flat for the CC-like ideal machine, growing with N for the DSM protocols).\n\n")
+	fmt.Fprintf(w, "  %5s %-9s %14s %9s %6s %7s %12s\n",
+		"procs", "protocol", "cycles", "vs ideal", "LAP%", "recov%", "remref/sync")
+	for pi, n := range procsList {
+		var ideal uint64
+		for ki, k := range kinds {
+			c := cells[pi*len(kinds)+ki]
+			if k == ProtoIdeal {
+				ideal = c.res.Cycles()
+			}
+			fmt.Fprintf(w, "  %5d %-9s %14d %8.2fx %6s %6.1f%% %12.1f\n",
+				n, k, c.res.Cycles(),
+				float64(c.res.Cycles())/float64(ideal),
+				fmtRate(c.lapRate), c.recPct, remRefsPerSync(c.res))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Qualitative Golab-shape check: the growth of remote references per
+	// synchronization operation from the smallest to the largest machine.
+	lo, hi := 0, len(procsList)-1
+	fmt.Fprintf(w, "remref/sync growth %d -> %d procs:", procsList[lo], procsList[hi])
+	for ki, k := range kinds {
+		a := remRefsPerSync(cells[lo*len(kinds)+ki].res)
+		b := remRefsPerSync(cells[hi*len(kinds)+ki].res)
+		growth := 0.0
+		if a > 0 {
+			growth = b / a
+		}
+		fmt.Fprintf(w, "  %s %.1fx", k, growth)
+	}
+	fmt.Fprintln(w)
+}

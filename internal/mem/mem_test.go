@@ -235,3 +235,20 @@ func TestDiffClone(t *testing.T) {
 		t.Fatal("clone shares storage")
 	}
 }
+
+func TestRehome(t *testing.T) {
+	s := NewSpace(1024)
+	s.Alloc("a", 3*1024, 0)
+	s.Alloc("b", 1024, 2)
+	for pg := 0; pg < 3; pg++ {
+		if s.InitHome(pg) != 0 {
+			t.Fatalf("page %d home = %d before rehome", pg, s.InitHome(pg))
+		}
+	}
+	s.Rehome(func(pg int) int { return pg + 7 })
+	for pg := 0; pg < s.Pages(); pg++ {
+		if got := s.InitHome(pg); got != pg+7 {
+			t.Fatalf("page %d home = %d after rehome, want %d", pg, got, pg+7)
+		}
+	}
+}

@@ -104,6 +104,18 @@ func (s *Space) InitHome(page int) int {
 	return 0
 }
 
+// Rehome reassigns every allocated page's initial home to f(page). The
+// harness uses this after application init to shard homes across a
+// large machine (the paper's applications pin most regions to processor
+// 0 — fine at 16 nodes, a hotspot at 256+; see docs/SCALING.md). It
+// must run before the engine starts: protocols capture their home maps
+// at Attach.
+func (s *Space) Rehome(f func(page int) int) {
+	for pg := range s.homes {
+		s.homes[pg] = f(pg)
+	}
+}
+
 // InitImage exposes the initial memory contents for bootstrapping frames.
 func (s *Space) InitImage() []byte { return s.init }
 

@@ -20,12 +20,49 @@ func TestParamsValidateRejects(t *testing.T) {
 		func(p *Params) { p.WordBytes = 0 },
 		func(p *Params) { p.NetPathWidthBits = 12 },
 		func(p *Params) { p.TLBEntries = 0 },
+		func(p *Params) { p.MeshW, p.MeshH = -4, -4 },
+		func(p *Params) { p.BarrierRadix = -1 },
 	}
 	for i, mutate := range cases {
 		p := Default()
 		mutate(&p)
 		if err := p.Validate(); err == nil {
 			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestMeshFor pins the generalized geometry helper over square,
+// rectangular and prime processor counts: the factoring is the most
+// nearly square one, W <= H, and always covers n exactly.
+func TestMeshFor(t *testing.T) {
+	for _, tc := range []struct{ n, w, h int }{
+		{1, 1, 1},
+		{2, 1, 2},
+		{6, 2, 3},
+		{8, 2, 4},
+		{12, 3, 4},
+		{13, 1, 13}, // prime: 1xN chain
+		{16, 4, 4},
+		{24, 4, 6},
+		{64, 8, 8},
+		{96, 8, 12},
+		{256, 16, 16},
+		{1024, 32, 32},
+	} {
+		w, h := MeshFor(tc.n)
+		if w != tc.w || h != tc.h {
+			t.Errorf("MeshFor(%d) = %dx%d, want %dx%d", tc.n, w, h, tc.w, tc.h)
+		}
+	}
+	// Every count in a wide range yields a valid parameter set.
+	for n := 1; n <= 300; n++ {
+		p := Default().ForProcs(n)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ForProcs(%d): %v", n, err)
+		}
+		if p.MeshW > p.MeshH {
+			t.Fatalf("ForProcs(%d): W %d > H %d", n, p.MeshW, p.MeshH)
 		}
 	}
 }
@@ -174,5 +211,36 @@ func TestBusMonotonic(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShardAssign(t *testing.T) {
+	// In range, deterministic, and actually spreading: across the first
+	// 4096 ids on 256 processors every processor gets some assignment,
+	// and consecutive ids do not map consecutively (the correlation the
+	// hash exists to break).
+	const n = 256
+	counts := make([]int, n)
+	consecutive := 0
+	for i := 0; i < 4096; i++ {
+		a := ShardAssign(i, n)
+		if a < 0 || a >= n {
+			t.Fatalf("ShardAssign(%d, %d) = %d out of range", i, n, a)
+		}
+		if a != ShardAssign(i, n) {
+			t.Fatalf("ShardAssign(%d, %d) not deterministic", i, n)
+		}
+		counts[a]++
+		if ShardAssign(i+1, n) == (a+1)%n {
+			consecutive++
+		}
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Fatalf("processor %d never assigned in 4096 ids", p)
+		}
+	}
+	if consecutive > 64 {
+		t.Fatalf("%d/4096 consecutive ids map to consecutive processors; hash is not mixing", consecutive)
 	}
 }

@@ -60,10 +60,31 @@ type Params struct {
 	// WordBytes is the machine word size used by all per-word costs.
 	WordBytes int
 	// MeshW and MeshH give the mesh geometry; MeshW*MeshH must equal
-	// NumProcs.
+	// NumProcs. Any rectangular shape is valid (including 1xN chains);
+	// ForProcs picks the most nearly square factoring automatically.
 	MeshW, MeshH int
 	// MsgHeaderBytes is the fixed header size added to every message.
 	MsgHeaderBytes int
+
+	// Scaling-architecture knobs (docs/SCALING.md). All default off,
+	// which reproduces the paper's 16-processor protocol structure
+	// byte-for-byte; the -scaling sweep turns them on for large meshes.
+
+	// BarrierRadix selects hierarchical tree combining for barrier
+	// fan-in/fan-out: each interior node of a radix-R combining tree
+	// aggregates its subtree's barrier traffic. 0 (and any radix >=
+	// NumProcs) is the paper's flat barrier — every processor messages
+	// the manager directly.
+	BarrierRadix int
+	// ShardHomes rehomes every shared page across the machine with a
+	// deterministic hash instead of honoring the application's static
+	// region homes (which the paper's apps mostly pin to processor 0 —
+	// a hotspot at 256+ nodes).
+	ShardHomes bool
+	// ShardManagers assigns lock managers by a deterministic hash of
+	// the lock id instead of round-robin (lock % NumProcs), which
+	// decorrelates manager placement from application lock numbering.
+	ShardManagers bool
 }
 
 // Default returns the Table 1 default parameters: a 16-node (4x4 mesh)
@@ -96,13 +117,54 @@ func Default() Params {
 	}
 }
 
+// MeshFor factors n into the most nearly square W x H mesh (W <= H).
+// Every positive n has a valid shape (primes degenerate to a 1 x n
+// chain); the XY-routed mesh model handles any rectangle.
+func MeshFor(n int) (w, h int) {
+	best := 1
+	for c := 1; c*c <= n; c++ {
+		if n%c == 0 {
+			best = c
+		}
+	}
+	return best, n / best
+}
+
+// ForProcs returns a copy of the parameter set resized to n processors
+// on the most nearly square mesh. The scaling knobs (BarrierRadix,
+// ShardHomes, ShardManagers) are left untouched: callers growing past
+// the paper's 16 nodes opt into them explicitly (docs/SCALING.md).
+func (p Params) ForProcs(n int) Params {
+	p.NumProcs = n
+	p.MeshW, p.MeshH = MeshFor(n)
+	return p
+}
+
+// ShardAssign deterministically maps item i (a page or lock id) to one
+// of n processors through a splitmix64-mixed hash. It backs the
+// ShardHomes and ShardManagers knobs (docs/SCALING.md): a plain modulo
+// keeps consecutive ids on consecutive processors, which preserves
+// exactly the correlation with application numbering that sharding is
+// meant to break, so the id is scrambled first.
+func ShardAssign(i, n int) int {
+	z := uint64(i) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
 // Validate reports whether the parameter set is internally consistent.
 func (p Params) Validate() error {
 	switch {
 	case p.NumProcs <= 0:
 		return errf("NumProcs must be positive, got %d", p.NumProcs)
+	case p.MeshW <= 0 || p.MeshH <= 0:
+		return errf("mesh %dx%d has a non-positive dimension", p.MeshW, p.MeshH)
 	case p.MeshW*p.MeshH != p.NumProcs:
 		return errf("mesh %dx%d does not cover %d processors", p.MeshW, p.MeshH, p.NumProcs)
+	case p.BarrierRadix < 0:
+		return errf("BarrierRadix must be non-negative, got %d", p.BarrierRadix)
 	case p.PageSize <= 0 || p.PageSize&(p.PageSize-1) != 0:
 		return errf("PageSize must be a positive power of two, got %d", p.PageSize)
 	case p.CacheLineBytes <= 0 || p.CacheBytes%p.CacheLineBytes != 0:

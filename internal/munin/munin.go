@@ -23,11 +23,14 @@ import (
 	"fmt"
 	"sort"
 
+	"aecdsm/internal/bitset"
 	"aecdsm/internal/lap"
 	"aecdsm/internal/mem"
+	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/topo"
 	"aecdsm/internal/trace"
 )
 
@@ -67,6 +70,7 @@ type Munin struct {
 
 	locks []*lockState
 	pages []pageState // per-page home-side state (lives at InitHome)
+	tree  topo.Tree   // barrier combining tree (flat when BarrierRadix is 0)
 
 	bar struct {
 		got, ready int
@@ -96,6 +100,7 @@ type procState struct {
 	memWanted int   // member acks expected (learned from home acks)
 	memAcks   int
 	barOut    bool
+	barComb   int // combining-tree subtree arrival count (tree mode only)
 }
 
 type lockState struct {
@@ -107,7 +112,7 @@ type lockState struct {
 }
 
 type pageState struct {
-	copyset uint32 // sharer bitmask, maintained at the page's home
+	copyset bitset.Set // sharer set, maintained at the page's home
 }
 
 type acqReq struct{ lock, from int }
@@ -190,13 +195,11 @@ func (pr *Munin) LockLAP(lock int) lap.Stats { return pr.locks[lock].pred.Stats 
 
 // Attach implements proto.Protocol.
 func (pr *Munin) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
-	if len(ctxs) > 32 {
-		panic("munin: copysets support at most 32 processors")
-	}
 	pr.e = e
 	pr.s = s
 	pr.ctxs = ctxs
 	pr.nprocs = len(ctxs)
+	pr.tree = topo.New(pr.nprocs, e.Params.BarrierRadix)
 	pr.pageSize = s.PageSize()
 	pr.ps = make([]*procState, pr.nprocs)
 	for i := range pr.ps {
@@ -213,11 +216,18 @@ func (pr *Munin) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	}
 	pr.pages = make([]pageState, s.Pages())
 	for pg := range pr.pages {
-		pr.pages[pg].copyset = 1 << uint(s.InitHome(pg))
+		pr.pages[pg].copyset = bitset.With(pr.nprocs, s.InitHome(pg))
 	}
 }
 
-func (pr *Munin) mgrOf(lock int) int  { return lock % pr.nprocs }
+// mgrOf returns the managing processor of a lock: round-robin as in the
+// seed, or hash-sharded under the scaling architecture (docs/SCALING.md).
+func (pr *Munin) mgrOf(lock int) int {
+	if pr.e.Params.ShardManagers {
+		return memsys.ShardAssign(lock, pr.nprocs)
+	}
+	return lock % pr.nprocs
+}
 func (pr *Munin) homeOf(page int) int { return pr.s.InitHome(page) }
 
 const barMgr = 0
@@ -321,7 +331,7 @@ func (pr *Munin) Fault(c *proto.Ctx, page int, write bool) {
 func (pr *Munin) handlePageReq(s *sim.Svc, m *sim.Msg) {
 	req := m.Payload.(pageReq)
 	ctx := pr.ctxs[m.To]
-	pr.pages[req.page].copyset |= 1 << uint(req.from)
+	pr.pages[req.page].copyset = pr.pages[req.page].copyset.Add(req.from)
 	if req.page == DebugPage {
 		dbg("[t%d] home p%d serves pg%d to p%d (cs=%x) val0=%d", pr.e.Now(), m.To, req.page, req.from,
 			pr.pages[req.page].copyset, int64(leU64(ctx.M.Frame(req.page).Data)))
@@ -545,7 +555,7 @@ func (pr *Munin) handleUpdate(s *sim.Svc, m *sim.Msg) {
 	forwards := 0
 	cs := pr.pages[u.page].copyset
 	for q := 0; q < pr.nprocs; q++ {
-		if cs&(1<<uint(q)) == 0 || q == u.releaser || q == m.To {
+		if !cs.Has(q) || q == u.releaser || q == m.To {
 			continue
 		}
 		if inUS(q) {
@@ -562,7 +572,7 @@ func (pr *Munin) handleUpdate(s *sim.Svc, m *sim.Msg) {
 			// release completes, or the next acquirer could read the
 			// stale copy.
 			forwards++
-			pr.pages[u.page].copyset &^= 1 << uint(q)
+			pr.pages[u.page].copyset.Remove(q)
 			s.Send(q, kFwdInval, 8,
 				fwdMsg{page: u.page, releaser: u.releaser}, pr.handleFwdInval)
 		}
@@ -647,7 +657,7 @@ func (pr *Munin) Barrier(c *proto.Ctx) {
 		pr.e.Tracer.Trace(trace.Ev(c.P.Clock, c.ID, trace.KindBarrierArrive))
 	}
 	st.barOut = false
-	pr.e.SendFrom(c.P, stats.Synch, barMgr, kBarArrive, 8, c.ID, pr.handleBarArrive)
+	pr.e.SendFrom(c.P, stats.Synch, pr.tree.ArrivalDest(c.ID), kBarArrive, 8, 1, pr.handleBarArrive)
 	c.P.WaitTag = "munin barrier"
 	c.P.WaitUntil(func() bool { return st.barOut }, stats.Synch)
 	if pr.e.Tracer != nil {
@@ -656,17 +666,44 @@ func (pr *Munin) Barrier(c *proto.Ctx) {
 	c.Epoch++
 }
 
+// handleBarArrive counts arrivals, combining subtree counts up the tree
+// (a no-op in the flat barrier, where every count-1 arrival lands at the
+// manager directly, as in the seed).
 func (pr *Munin) handleBarArrive(s *sim.Svc, m *sim.Msg) {
-	pr.bar.got++
+	n := m.Payload.(int)
 	s.ChargeList(1)
+	if m.To != barMgr {
+		st := pr.ps[m.To]
+		st.barComb += n
+		if st.barComb < pr.tree.SubtreeSize(m.To) {
+			return
+		}
+		s.Send(pr.tree.Parent(m.To), kBarArrive, 8, st.barComb, pr.handleBarArrive)
+		st.barComb = 0
+		return
+	}
+	pr.bar.got += n
 	if pr.bar.got < pr.nprocs {
 		return
 	}
 	pr.bar.got = 0
-	for q := 0; q < pr.nprocs; q++ {
-		s.Send(q, kBarComplete, 8, nil, func(s2 *sim.Svc, m2 *sim.Msg) {
-			pr.ps[m2.To].barOut = true
-			s2.Wake(s2.P)
-		})
+	s.Send(barMgr, kBarComplete, 8, nil, pr.handleBarComplete)
+	for _, q := range pr.tree.Children(barMgr) {
+		s.Send(q, kBarComplete, 8, nil, pr.handleBarComplete)
 	}
+}
+
+// handleBarComplete releases a processor, relaying the completion to its
+// tree children first.
+func (pr *Munin) handleBarComplete(s *sim.Svc, m *sim.Msg) {
+	if m.To != barMgr {
+		if kids := pr.tree.AppendChildren(nil, m.To); len(kids) > 0 {
+			s.ChargeList(len(kids))
+			for _, q := range kids {
+				s.Send(q, kBarComplete, 8, nil, pr.handleBarComplete)
+			}
+		}
+	}
+	pr.ps[m.To].barOut = true
+	s.Wake(s.P)
 }

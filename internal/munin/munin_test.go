@@ -94,3 +94,28 @@ func TestMuninNames(t *testing.T) {
 		t.Fatal("lap name")
 	}
 }
+
+// TestMunin64Procs guards the removal of the 32-processor copyset cap:
+// the sharer sets are growable bitsets, so update distribution works on
+// a 64-node (8x8) mesh, with and without the scaling architecture.
+func TestMunin64Procs(t *testing.T) {
+	flat := memsys.Default().ForProcs(64)
+	scaled := flat
+	scaled.BarrierRadix = 16
+	scaled.ShardHomes = true
+	scaled.ShardManagers = true
+	for _, tc := range []struct {
+		name string
+		p    memsys.Params
+	}{{"flat", flat}, {"scaled", scaled}} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := harness.Run(tc.p, munin.New(munin.Options{UseLAP: true}), apps.NewCounter(3, 64, 8))
+			if res.Deadlocked {
+				t.Fatal("deadlocked")
+			}
+			if res.VerifyErr != nil {
+				t.Fatal(res.VerifyErr)
+			}
+		})
+	}
+}

@@ -223,6 +223,116 @@ func TestDegradedLinkAddsLatency(t *testing.T) {
 	}
 }
 
+// scaledMesh builds a mesh for an n-processor machine the way the
+// scaling sweep does: Table 1 node parameters on the near-square mesh
+// MeshFor picks for n (docs/SCALING.md).
+func scaledMesh(n int) *Mesh {
+	return NewMesh(memsys.Default().ForProcs(n))
+}
+
+// TestLatencyMonotoneInHops checks, at every sweep shape, that the
+// uncontended cost of a fixed-size message never decreases as the hop
+// distance grows: sorting all (src,dst) pairs by Hops must sort them by
+// Latency too.
+func TestLatencyMonotoneInHops(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		m := scaledMesh(n)
+		// maxLat[h] = max latency seen at h hops; minLat[h] = min.
+		maxHops := m.Hops(0, n-1)
+		minLat := make([]uint64, maxHops+1)
+		maxLat := make([]uint64, maxHops+1)
+		for i := range minLat {
+			minLat[i] = ^uint64(0)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				h := m.Hops(a, b)
+				l := m.Latency(a, b, 64)
+				if l < minLat[h] {
+					minLat[h] = l
+				}
+				if l > maxLat[h] {
+					maxLat[h] = l
+				}
+			}
+		}
+		for h := 1; h <= maxHops; h++ {
+			if maxLat[h-1] > minLat[h] {
+				t.Errorf("%d procs: latency not monotone in hops: max@%d hops = %d > min@%d hops = %d",
+					n, h-1, maxLat[h-1], h, minLat[h])
+			}
+		}
+	}
+}
+
+// TestRoutingSymmetricAtScale checks Hops and uncontended Latency are
+// symmetric in (src,dst) at every sweep shape — XY routing takes a
+// different physical path in each direction, but the dimension-ordered
+// hop count and therefore the cost must match.
+func TestRoutingSymmetricAtScale(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		m := scaledMesh(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if m.Hops(a, b) != m.Hops(b, a) {
+					t.Fatalf("%d procs: Hops(%d,%d)=%d != Hops(%d,%d)=%d",
+						n, a, b, m.Hops(a, b), b, a, m.Hops(b, a))
+				}
+				if la, lb := m.Latency(a, b, 256), m.Latency(b, a, 256); la != lb {
+					t.Fatalf("%d procs: Latency(%d,%d)=%d != Latency(%d,%d)=%d",
+						n, a, b, la, b, a, lb)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshGolden4x4 pins the exact per-pair byte costs of the paper's
+// 4x4 machine (Table 1: 4-cycle switch, 2-cycle wire, 16-bit links).
+// These values back the byte-identical golden outputs — any routing or
+// pipelining change that shifts them breaks every committed table.
+func TestMeshGolden4x4(t *testing.T) {
+	m := scaledMesh(16)
+	for _, tc := range []struct {
+		from, to, bytes int
+		want            uint64
+	}{
+		{0, 0, 4096, 0},     // local: free
+		{0, 1, 2, 6},        // 1 hop, header only
+		{0, 1, 64, 68},      // 1 hop, 32 flits: 6 + 31*2
+		{0, 5, 64, 74},      // 2 hops (XY: east then south)
+		{0, 15, 2, 36},      // corner to corner, header only
+		{0, 15, 64, 98},     // corner to corner, 32 flits
+		{0, 15, 4096, 4130}, // a full page
+		{5, 10, 4096, 4106}, // interior 2-hop page move
+	} {
+		if got := m.Latency(tc.from, tc.to, tc.bytes); got != tc.want {
+			t.Errorf("Latency(%d,%d,%dB) = %d, want %d", tc.from, tc.to, tc.bytes, got, tc.want)
+		}
+	}
+}
+
+// TestScaledShapes checks MeshFor's geometry reaches the mesh layer
+// intact: the sweep sizes come out as the expected near-square meshes
+// with the matching worst-case hop distance.
+func TestScaledShapes(t *testing.T) {
+	for _, tc := range []struct{ n, wantDiam int }{
+		{16, 6},    // 4x4
+		{32, 10},   // 4x8
+		{64, 14},   // 8x8
+		{256, 30},  // 16x16
+		{1024, 62}, // 32x32
+	} {
+		m := scaledMesh(tc.n)
+		if got := m.Size(); got != tc.n {
+			t.Errorf("%d procs: mesh covers %d nodes", tc.n, got)
+		}
+		if got := m.Hops(0, tc.n-1); got != tc.wantDiam {
+			t.Errorf("%d procs: corner-to-corner hops = %d, want %d", tc.n, got, tc.wantDiam)
+		}
+	}
+}
+
 func TestMeshStats(t *testing.T) {
 	m := testMesh()
 	m.Transfer(0, 0, 5, 100)

@@ -22,9 +22,11 @@ import (
 
 	"aecdsm/internal/lap"
 	"aecdsm/internal/mem"
+	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
+	"aecdsm/internal/topo"
 	"aecdsm/internal/trace"
 )
 
@@ -73,6 +75,13 @@ type tmProc struct {
 	barOut     bool
 	stashVC    []int // acquirer vc stashed at the manager while queued
 	lastBarSeq int   // own interval seq at the last barrier
+
+	// Combining-tree aggregation state (tree-mode barriers only): the
+	// merged clock, concatenated notices and processor count of this
+	// node's subtree, buffered until the subtree is complete.
+	combVC    []int
+	combWNs   []wnRef
+	combCount int
 }
 
 type grantMsg struct {
@@ -167,9 +176,10 @@ func topoOrder(in []ivalDiff) []ivalDiff {
 }
 
 type barArrive struct {
-	proc int
-	vc   []int
-	wns  []wnRef // summaries of intervals created since the last barrier
+	proc  int
+	vc    []int
+	wns   []wnRef // summaries of intervals created since the last barrier
+	count int     // processors represented (1 from a processor, more from a combining node)
 }
 
 type barRelease struct {
@@ -212,6 +222,8 @@ type TM struct {
 		arr []bool
 	}
 
+	tree topo.Tree // barrier combining tree (flat when BarrierRadix is 0)
+
 	nprocs   int
 	pageSize int
 	numLocks int
@@ -245,6 +257,7 @@ func (pr *TM) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	pr.s = s
 	pr.ctxs = ctxs
 	pr.nprocs = len(ctxs)
+	pr.tree = topo.New(pr.nprocs, e.Params.BarrierRadix)
 	pr.pageSize = s.PageSize()
 	pr.ps = make([]*tmProc, pr.nprocs)
 	for i := range pr.ps {
@@ -270,7 +283,15 @@ func (pr *TM) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	pr.bar.arr = make([]bool, pr.nprocs)
 }
 
-func (pr *TM) mgrOf(lock int) int { return lock % pr.nprocs }
+// mgrOf returns the managing processor of a lock: round-robin as in
+// TreadMarks, or hash-sharded under the scaling architecture
+// (docs/SCALING.md).
+func (pr *TM) mgrOf(lock int) int {
+	if pr.e.Params.ShardManagers {
+		return memsys.ShardAssign(lock, pr.nprocs)
+	}
+	return lock % pr.nprocs
+}
 
 const barMgr = 0
 
