@@ -11,9 +11,18 @@
 //	fuzzdsm -seed 42 -iters 1        # reproduce one failure exactly
 //	fuzzdsm -procs 4                 # force the processor count
 //	fuzzdsm -protocols AEC,TM-LH     # choose the comparison set
+//	fuzzdsm -policy affinity         # run under one lock grant discipline
+//	fuzzdsm -policy all              # sweep fifo,mcs,affinity,lease per seed
 //	fuzzdsm -faults light            # inject a deterministic fault schedule
 //	fuzzdsm -faults drop=0.05,dup=0.02 -fault-seed 7
 //	fuzzdsm -jobs 8                  # 8 workloads in flight (same output)
+//
+// With -policy listing several grant disciplines (docs/LOCKING.md), each
+// seed runs the full protocol comparison once per policy, the auditor
+// applies the policy's own queue discipline (strict FIFO or the bounded
+// bypass contract), and the barrier-phase checksums must additionally be
+// bit-identical ACROSS policies — grant order is the only thing a policy
+// may change.
 //
 // With -faults every protocol runs under the same seed-derived fault
 // schedule and must still agree bit-for-bit at every barrier phase —
@@ -35,6 +44,7 @@ import (
 	"aecdsm/internal/check"
 	"aecdsm/internal/fault"
 	"aecdsm/internal/harness"
+	"aecdsm/internal/lockpolicy"
 )
 
 func main() {
@@ -45,6 +55,8 @@ func main() {
 		procs     = flag.Int("procs", 0, "force processor count (0 = derive 2-16 from seed)")
 		protocols = flag.String("protocols", "AEC,TM,Munin,ideal",
 			"comma-separated protocols to compare (AEC, AEC-noLAP, TM, TM-LH, Munin, Munin+LAP, ideal)")
+		policy = flag.String("policy", "",
+			"comma-separated lock grant disciplines to sweep (fifo, mcs, affinity, lease; \"all\" = every one; empty = the fifo default)")
 		faults    = flag.String("faults", "", "fault schedule: a preset (light, heavy) or clauses like drop=0.05,dup=0.02,delay=0.05:8000 (empty = no faults)")
 		faultSeed = flag.Uint64("fault-seed", 0, "base seed for the fault schedule (per-workload seed is fault-seed + workload seed)")
 		verbose   = flag.Bool("v", false, "print every workload verdict, not just failures")
@@ -52,6 +64,11 @@ func main() {
 	flag.Parse()
 
 	kinds, err := parseProtocols(*protocols)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzdsm:", err)
+		os.Exit(2)
+	}
+	policies, err := parsePolicies(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzzdsm:", err)
 		os.Exit(2)
@@ -77,10 +94,12 @@ func main() {
 		fc.Seed = *faultSeed + s
 		return &fc
 	}
-	reports := make([]*check.Report, *iters)
-	runParallel(*iters, *jobs, func(i int) {
-		s := *seed + uint64(i)
-		reports[i] = check.RunSeedFault(s, *procs, kinds, faultFor(s))
+	reports := make([]*check.Report, *iters*len(policies))
+	runParallel(len(reports), *jobs, func(i int) {
+		s := *seed + uint64(i/len(policies))
+		w := check.Generate(s, *procs)
+		w.Policy = policies[i%len(policies)]
+		reports[i] = check.RunWorkloadFault(w, kinds, faultFor(s))
 	})
 
 	// Phase 2: report (and shrink failures) strictly in seed order, so the
@@ -89,27 +108,113 @@ func main() {
 	for i := 0; i < *iters; i++ {
 		s := *seed + uint64(i)
 		fcfg := faultFor(s)
-		rep := reports[i]
-		if rep.Failed() {
-			failures++
-			fmt.Printf("seed %d: FAIL\n%s", s, rep)
-			small, spent := check.ShrinkFault(rep.Workload, kinds, 64, fcfg)
-			if small.Workload != rep.Workload {
-				fmt.Printf("shrunk after %d replays:\n%s", spent, small)
+		perPolicy := reports[i*len(policies) : (i+1)*len(policies)]
+		for _, rep := range perPolicy {
+			if rep.Failed() {
+				failures++
+				fmt.Printf("seed %d: FAIL\n%s", s, rep)
+				small, spent := check.ShrinkFault(rep.Workload, kinds, 64, fcfg)
+				if small.Workload != rep.Workload {
+					fmt.Printf("shrunk after %d replays:\n%s", spent, small)
+				}
+			} else if *verbose {
+				fmt.Printf("seed %d: ok\n%s", s, rep)
+			} else {
+				w := rep.Workload
+				pol := ""
+				if len(policies) > 1 {
+					pol = " policy=" + w.Policy
+				}
+				fmt.Printf("seed %d: ok (procs=%d locks=%d phases=%d ops=%d%s final=%016x)\n",
+					s, w.Procs, w.Cfg.Locks, w.Cfg.Phases, w.Cfg.OpsPerPhase, pol, rep.Runs[0].Final)
 			}
-		} else if *verbose {
-			fmt.Printf("seed %d: ok\n%s", s, rep)
-		} else {
-			w := rep.Workload
-			fmt.Printf("seed %d: ok (procs=%d locks=%d phases=%d ops=%d final=%016x)\n",
-				s, w.Procs, w.Cfg.Locks, w.Cfg.Phases, w.Cfg.OpsPerPhase, rep.Runs[0].Final)
+		}
+		// Cross-policy equivalence: grant order is the only degree of
+		// freedom a policy has, so every policy's runs must produce the
+		// same barrier-phase checksums for the seed.
+		for _, d := range crossPolicyDiffs(perPolicy) {
+			failures++
+			fmt.Printf("seed %d: FAIL (cross-policy)\n  %s\n", s, d)
 		}
 	}
 	if failures > 0 {
-		fmt.Printf("fuzzdsm: %d of %d workloads failed\n", failures, *iters)
+		fmt.Printf("fuzzdsm: %d of %d workloads failed\n", failures, *iters*len(policies))
 		os.Exit(1)
 	}
+	if len(policies) > 1 {
+		fmt.Printf("fuzzdsm: %d workloads, %d protocols x %d policies each, all agree\n",
+			*iters, len(kinds), len(policies))
+		return
+	}
 	fmt.Printf("fuzzdsm: %d workloads, %d protocols each, all agree\n", *iters, len(kinds))
+}
+
+// crossPolicyDiffs compares the per-policy reports of one seed: the
+// first run's final and per-phase checksums must be bit-identical under
+// every policy.
+func crossPolicyDiffs(perPolicy []*check.Report) []string {
+	var diffs []string
+	var ref *check.Report
+	for _, rep := range perPolicy {
+		if len(rep.Runs) == 0 {
+			continue
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		a, b := ref.Runs[0], rep.Runs[0]
+		if a.Final != b.Final {
+			diffs = append(diffs, fmt.Sprintf(
+				"final checksum mismatch across policies: %s=%016x vs %s=%016x",
+				orFIFO(ref.Workload.Policy), a.Final, orFIFO(rep.Workload.Policy), b.Final))
+			continue
+		}
+		for p := range a.Phases {
+			if p < len(b.Phases) && a.Phases[p] != b.Phases[p] {
+				diffs = append(diffs, fmt.Sprintf(
+					"phase %d checksum mismatch across policies: %s=%016x vs %s=%016x",
+					p, orFIFO(ref.Workload.Policy), a.Phases[p], orFIFO(rep.Workload.Policy), b.Phases[p]))
+				break
+			}
+		}
+	}
+	return diffs
+}
+
+func orFIFO(policy string) string {
+	if policy == "" {
+		return string(lockpolicy.FIFO)
+	}
+	return policy
+}
+
+// parsePolicies expands the -policy flag into the workload policy sweep;
+// the empty flag is a single run under the fifo default.
+func parsePolicies(list string) ([]string, error) {
+	if list == "" {
+		return []string{""}, nil
+	}
+	if list == "all" {
+		var out []string
+		for _, k := range lockpolicy.Kinds() {
+			out = append(out, string(k))
+		}
+		return out, nil
+	}
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		k, err := lockpolicy.Parse(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(k))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies selected")
+	}
+	return out, nil
 }
 
 // runParallel executes fn(0..n-1) on up to jobs workers (0 = GOMAXPROCS)

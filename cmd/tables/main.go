@@ -16,6 +16,7 @@
 //	tables -table speedup  # scalability sweep 1-32 processors
 //	tables -scaling        # 16/64/256-processor scaling-architecture sweep
 //	tables -scaling -scaling-procs 16,64,256,1024 -scaling-app Ocean
+//	tables -locklab        # lock-policy lab: MVA prediction vs simulation
 //
 // The -scaling sweep runs the machine with the scaling architecture
 // enabled (radix-16 barrier combining, hash-sharded homes and lock
@@ -74,6 +75,8 @@ func main() {
 		scaling      = flag.Bool("scaling", false, "run the scaling-architecture sweep (docs/SCALING.md)")
 		scalingProcs = flag.String("scaling-procs", "16,64,256", "comma-separated machine sizes for -scaling")
 		scalingApp   = flag.String("scaling-app", "Ocean", "application for -scaling")
+
+		locklab = flag.Bool("locklab", false, "run the lock-policy lab: MVA prediction vs simulation for all four grant disciplines (docs/LOCKING.md)")
 	)
 	flag.Parse()
 
@@ -136,6 +139,8 @@ func main() {
 			os.Exit(2)
 		}
 		e.ScalingSweep(w, *scalingApp, procs)
+	case *locklab:
+		e.LockLab(w)
 	case *table == "" && *figure == "":
 		e.All(w)
 	case *table == "1":

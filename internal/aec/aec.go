@@ -23,6 +23,7 @@ import (
 
 	"aecdsm/internal/bitset"
 	"aecdsm/internal/lap"
+	"aecdsm/internal/lockpolicy"
 
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
@@ -156,8 +157,13 @@ func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	if !pr.opt.UseLAP {
 		nsz = 1 // predictor still sized, but never consulted for pushes
 	}
+	pol, err := lockpolicy.Parse(e.Params.LockPolicy)
+	if err != nil {
+		panic("aec: " + err.Error())
+	}
 	for i := range pr.locks {
 		pr.locks[i] = newLockState(pr.nprocs, nsz)
+		pr.locks[i].pred.SetPolicy(pol)
 		if pr.opt.AffinityFactor > 0 {
 			pr.locks[i].pred.SetAffinityFactor(pr.opt.AffinityFactor)
 		}

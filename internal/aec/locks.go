@@ -215,7 +215,7 @@ func (pr *AEC) overlapUnit(c *proto.Ctx, st *procState, lock int) bool {
 func (pr *AEC) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 	req := m.Payload.(acqReq)
 	l := pr.locks[req.lock]
-	s.ChargeList(1 + l.pred.QueueLen())
+	s.ChargeList(l.pred.RequestElems())
 	if l.held {
 		l.pred.Enqueue(m.From)
 		return
@@ -472,8 +472,17 @@ func (pr *AEC) handleRel(s *sim.Svc, m *sim.Msg) {
 		l.lastUS = nil
 		l.cumPages = nil
 	}
-	if next := l.pred.Dequeue(); next >= 0 {
-		pr.grantLock(s, r.lock, next)
+	// Hand the lock on per the grant policy. GrantElems is 0 for the
+	// head-popping disciplines, so the default charges nothing extra.
+	s.ChargeList(l.pred.GrantElems())
+	if pk := l.pred.PickNext(m.From); pk.Proc >= 0 {
+		if pk.Bypassed > 0 {
+			s.P.Stats.GrantBypasses++
+		}
+		if pk.Renewal {
+			s.P.Stats.LeaseRenewals++
+		}
+		pr.grantLock(s, r.lock, pk.Proc)
 	}
 }
 

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"fmt"
 	"math"
 
 	"aecdsm/internal/mem"
@@ -46,6 +47,20 @@ func NewFFT(cfg Config) *FFT {
 // Name implements proto.Program.
 func (a *FFT) Name() string { return "FFT" }
 
+// CheckSplit implements proto.SplitChecker: the transpose-based algorithm
+// block-distributes the N rows of the matrix, so at most N processors can
+// be fed. At reduced -scale the matrix shrinks (NewFFT halves N), which
+// is how a 1024-processor sweep at small scale used to walk off the end
+// of the decomposition; now it is a clear, size-aware error the sweeps
+// can skip on.
+func (a *FFT) CheckSplit(nprocs int) error {
+	if nprocs > a.N {
+		return fmt.Errorf("FFT: %dx%d matrix (scale %g) splits into at most %d row blocks, cannot feed %d processors; raise the scale or lower the processor count",
+			a.N, a.N, clampScale(a.cfg.Scale), a.N, nprocs)
+	}
+	return nil
+}
+
 // NumLocks implements proto.Program.
 func (a *FFT) NumLocks() int { return 1 }
 
@@ -63,7 +78,16 @@ func (a *FFT) Init(s *mem.Space, nprocs int) {
 	a.matA = s.Alloc("fft.mat", 16*n*n, 0)
 	a.tmpA = s.Alloc("fft.tmp", 16*n*n, 0)
 	a.rootA = s.Alloc("fft.roots", 16*n*n, 0)
-	a.idA = s.Alloc("fft.ids", 8*64, 0)
+	// The id table holds one counter plus one slot per processor. The
+	// historical fixed 8*64 size is kept for machines it fits (allocation
+	// sizes shape the page layout, and with it every golden cycle count);
+	// larger machines get exactly the slots they need instead of writing
+	// past the end.
+	idBytes := 8 * 64
+	if need := 8 * (nprocs + 1); need > idBytes {
+		idBytes = need
+	}
+	a.idA = s.Alloc("fft.ids", idBytes, 0)
 
 	buf := make([]byte, 16*n*n)
 	for i, v := range a.input {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"aecdsm/internal/lockpolicy"
 	"aecdsm/internal/trace"
 )
 
@@ -18,12 +19,17 @@ import (
 //
 //  1. Mutual exclusion (single writer per lock interval): a lock is
 //     granted only while free, and released only by its holder.
-//  2. Lock-queue FIFO: a processor in the manager's waiting queue (built
-//     from lock-enqueue events) is only granted the lock from the head
-//     of that queue. A grant to a processor that never enqueued can race
-//     ahead of later enqueues (the grant message is in flight while the
-//     manager keeps serving requests), so only queued processors are
-//     held to FIFO order.
+//  2. Lock-queue grant discipline, policy-aware (SetPolicy): under the
+//     fifo and mcs policies a processor in the manager's waiting queue
+//     (built from lock-enqueue events) is only granted the lock from the
+//     head of that queue; under the reordering policies (affinity,
+//     lease) any queued waiter may win, but each grant bumps the bypass
+//     count of every waiter that arrived earlier, and no waiter's count
+//     may ever exceed lockpolicy.MaxBypass — the starvation-freedom
+//     contract the policies document. A grant to a processor that never
+//     enqueued can race ahead of later enqueues (the grant message is in
+//     flight while the manager keeps serving requests), so only queued
+//     processors are held to the discipline.
 //  3. Virtual-queue / prediction consistency: a predicted update set
 //     never contains the holder it was computed for, names only real
 //     processors, and lap-hit / lap-miss verdicts agree with the most
@@ -42,10 +48,11 @@ import (
 //     every processor has arrived at it.
 type Auditor struct {
 	nprocs     int
+	policy     lockpolicy.Kind
 	violations []string
 
 	holder      map[int]int             // lock -> holder, -1 when free
-	queue       map[int][]int           // lock -> modeled manager waiting queue
+	queue       map[int][]queueEntry    // lock -> modeled manager waiting queue
 	lastPredict map[int][]int           // lock -> last predicted update set
 	openTwins   map[[2]int]int          // (proc, page) -> outstanding twins
 	applied     map[int]map[uint64]bool // proc -> refs applied this episode
@@ -57,12 +64,21 @@ type Auditor struct {
 // of times and the first few are what matter.
 const maxViolations = 20
 
-// NewAuditor builds an auditor for a run with nprocs processors.
+// queueEntry is one modeled waiter: who, and how many later arrivals
+// have been granted past it so far.
+type queueEntry struct {
+	proc   int
+	bypass int
+}
+
+// NewAuditor builds an auditor for a run with nprocs processors. The
+// modeled grant discipline defaults to FIFO; SetPolicy selects another.
 func NewAuditor(nprocs int) *Auditor {
 	return &Auditor{
 		nprocs:      nprocs,
+		policy:      lockpolicy.FIFO,
 		holder:      map[int]int{},
-		queue:       map[int][]int{},
+		queue:       map[int][]queueEntry{},
 		lastPredict: map[int][]int{},
 		openTwins:   map[[2]int]int{},
 		applied:     map[int]map[uint64]bool{},
@@ -70,6 +86,11 @@ func NewAuditor(nprocs int) *Auditor {
 		departs:     make([]int, nprocs),
 	}
 }
+
+// SetPolicy tells the auditor which grant discipline the run's lock
+// managers are configured with, switching invariant 2 between the strict
+// FIFO rule (fifo, mcs) and the bounded-bypass rule (affinity, lease).
+func (a *Auditor) SetPolicy(k lockpolicy.Kind) { a.policy = k }
 
 // Violations returns the recorded invariant violations, oldest first.
 func (a *Auditor) Violations() []string {
@@ -86,7 +107,7 @@ func (a *Auditor) failf(format string, args ...any) {
 func (a *Auditor) Trace(ev trace.Event) {
 	switch ev.Kind {
 	case trace.KindLockEnqueue:
-		a.queue[ev.Lock] = append(a.queue[ev.Lock], int(ev.Arg))
+		a.queue[ev.Lock] = append(a.queue[ev.Lock], queueEntry{proc: int(ev.Arg)})
 
 	case trace.KindLockGrant:
 		if h, ok := a.holder[ev.Lock]; ok && h >= 0 {
@@ -94,15 +115,7 @@ func (a *Auditor) Trace(ev trace.Event) {
 				ev.Cycle, ev.Lock, ev.Proc, h)
 		}
 		a.holder[ev.Lock] = ev.Proc
-		if q := a.queue[ev.Lock]; len(q) > 0 && containsInt(q, ev.Proc) {
-			if q[0] == ev.Proc {
-				a.queue[ev.Lock] = q[1:]
-			} else {
-				a.failf("t%d: lock %d granted to queued proc %d ahead of queue head proc %d (queue %v)",
-					ev.Cycle, ev.Lock, ev.Proc, q[0], q)
-				a.queue[ev.Lock] = removeInt(q, ev.Proc)
-			}
-		}
+		a.auditGrantOrder(ev)
 
 	case trace.KindLockRelease:
 		if h, ok := a.holder[ev.Lock]; ok && h != ev.Proc {
@@ -195,6 +208,49 @@ func (a *Auditor) Trace(ev trace.Event) {
 	}
 }
 
+// auditGrantOrder enforces invariant 2 on one grant event: strict
+// head-of-queue order for fifo/mcs, the MaxBypass starvation bound for
+// the reordering policies.
+func (a *Auditor) auditGrantOrder(ev trace.Event) {
+	q := a.queue[ev.Lock]
+	i := -1
+	for j, e := range q {
+		if e.proc == ev.Proc {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return // never enqueued: the grant raced the queue, out of scope
+	}
+	switch a.policy {
+	case lockpolicy.FIFO, lockpolicy.MCS:
+		if i != 0 {
+			a.failf("t%d: lock %d granted to queued proc %d ahead of queue head proc %d under %s (queue %v)",
+				ev.Cycle, ev.Lock, ev.Proc, q[0].proc, a.policy, queueProcs(q))
+		}
+	default: // affinity, lease: any waiter may win, within the bypass bound
+		for j := 0; j < i; j++ {
+			q[j].bypass++
+			if q[j].bypass > lockpolicy.MaxBypass {
+				a.failf("t%d: lock %d waiter proc %d bypassed %d times under %s, bound is %d (queue %v)",
+					ev.Cycle, ev.Lock, q[j].proc, q[j].bypass, a.policy,
+					lockpolicy.MaxBypass, queueProcs(q))
+			}
+		}
+	}
+	a.queue[ev.Lock] = append(q[:i], q[i+1:]...)
+}
+
+// queueProcs flattens a modeled queue to its processor ids for messages.
+func queueProcs(q []queueEntry) []int {
+	out := make([]int, len(q))
+	for i, e := range q {
+		out[i] = e.proc
+	}
+	return out
+}
+
 // parseIntSet parses the "[3 7]"-style update-set annotation of a
 // lap-predict event.
 func parseIntSet(note string) []int {
@@ -218,18 +274,4 @@ func containsInt(s []int, v int) bool {
 		}
 	}
 	return false
-}
-
-// removeInt returns s without the first occurrence of v.
-func removeInt(s []int, v int) []int {
-	out := make([]int, 0, len(s))
-	removed := false
-	for _, x := range s {
-		if !removed && x == v {
-			removed = true
-			continue
-		}
-		out = append(out, x)
-	}
-	return out
 }

@@ -25,7 +25,12 @@ type Workload struct {
 	Seed     uint64
 	Procs    int
 	PageSize int
-	Cfg      apps.SynthConfig
+	// Policy names the lock managers' grant discipline for every protocol
+	// of the comparison set ("" = fifo; see internal/lockpolicy). It is an
+	// override, not seed-derived, so every historical seed still denotes
+	// the exact same workload — the fuzz driver sweeps it explicitly.
+	Policy string
+	Cfg    apps.SynthConfig
 }
 
 // Generate derives the workload for one seed. procs forces the processor
@@ -63,6 +68,7 @@ func Generate(seed uint64, procs int) Workload {
 func (w Workload) Params() memsys.Params {
 	p := memsys.Default().ForProcs(w.Procs)
 	p.PageSize = w.PageSize
+	p.LockPolicy = w.Policy
 	if w.Procs > 16 {
 		p.BarrierRadix = 16
 		p.ShardHomes = true

@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/apps"
 	"aecdsm/internal/fault"
 	"aecdsm/internal/harness"
+	"aecdsm/internal/lockpolicy"
 )
 
 // ProtocolRun is the outcome of one workload under one protocol.
@@ -39,9 +40,9 @@ func (r *Report) Failed() bool { return len(r.Failures) > 0 }
 func (r *Report) String() string {
 	var b strings.Builder
 	w := r.Workload
-	fmt.Fprintf(&b, "workload seed=%d procs=%d pagesize=%d locks=%d cells=%d phases=%d ops=%d pad=%d notices=%v\n",
+	fmt.Fprintf(&b, "workload seed=%d procs=%d pagesize=%d locks=%d cells=%d phases=%d ops=%d pad=%d notices=%v%s\n",
 		w.Seed, w.Procs, w.PageSize, w.Cfg.Locks, w.Cfg.CellsPerLock,
-		w.Cfg.Phases, w.Cfg.OpsPerPhase, w.Cfg.PadWords, w.Cfg.Notices)
+		w.Cfg.Phases, w.Cfg.OpsPerPhase, w.Cfg.PadWords, w.Cfg.Notices, policyTag(w.Policy))
 	if r.Faults != nil {
 		fmt.Fprintf(&b, "  faults %s seed=%d\n", r.Faults, r.Faults.Seed)
 	}
@@ -53,14 +54,26 @@ func (r *Report) String() string {
 		for _, f := range r.Failures {
 			fmt.Fprintf(&b, "  FAIL: %s\n", f)
 		}
+		polFlag := ""
+		if w.Policy != "" {
+			polFlag = " -policy " + w.Policy
+		}
 		if r.Faults != nil {
-			fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d -faults %s -fault-seed %d\n",
-				w.Seed, w.Procs, r.Faults, r.Faults.Seed-w.Seed)
+			fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d%s -faults %s -fault-seed %d\n",
+				w.Seed, w.Procs, polFlag, r.Faults, r.Faults.Seed-w.Seed)
 		} else {
-			fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d\n", w.Seed, w.Procs)
+			fmt.Fprintf(&b, "  reproduce: fuzzdsm -seed %d -iters 1 -procs %d%s\n", w.Seed, w.Procs, polFlag)
 		}
 	}
 	return b.String()
+}
+
+// policyTag renders the workload's policy override for reports.
+func policyTag(policy string) string {
+	if policy == "" {
+		return ""
+	}
+	return " policy=" + policy
 }
 
 // DefaultProtocols is the four-way comparison set of the differential
@@ -96,9 +109,15 @@ func RunWorkload(w Workload, kinds []harness.ProtocolKind) *Report {
 // nil fcfg is exactly RunWorkload.
 func RunWorkloadFault(w Workload, kinds []harness.ProtocolKind, fcfg *fault.Config) *Report {
 	rep := &Report{Workload: w, Faults: fcfg}
+	pol, err := lockpolicy.Parse(w.Policy)
+	if err != nil {
+		rep.Failures = append(rep.Failures, err.Error())
+		return rep
+	}
 	for _, k := range kinds {
 		prog := apps.NewSynth(w.Cfg)
 		aud := NewAuditor(w.Procs)
+		aud.SetPolicy(pol)
 		res := harness.RunFaultTraced(w.Params(), harness.NewProtocol(k, 2), prog, aud, fcfg)
 		run := ProtocolRun{
 			Kind:       k,

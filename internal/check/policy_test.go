@@ -1,0 +1,108 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"aecdsm/internal/fault"
+	"aecdsm/internal/lockpolicy"
+)
+
+// TestAuditorBoundedBypass drives the policy-aware queue rule with
+// hand-built streams: under a reordering policy any queued waiter may
+// win, but the MaxBypass starvation bound is hard.
+func TestAuditorBoundedBypass(t *testing.T) {
+	t.Run("within-bound", func(t *testing.T) {
+		a := NewAuditor(8)
+		a.SetPolicy(lockpolicy.Affinity)
+		a.Trace(enqueueEv(0, 1))
+		for i := 0; i < lockpolicy.MaxBypass; i++ {
+			p := 2 + i
+			a.Trace(enqueueEv(0, p))
+			a.Trace(grantEv(0, p)) // bypasses waiter 1, still legal
+			a.Trace(releaseEv(0, p))
+		}
+		a.Trace(grantEv(0, 1))
+		if vs := a.Violations(); len(vs) != 0 {
+			t.Fatalf("bypasses within the bound flagged: %v", vs)
+		}
+	})
+	t.Run("bound-exceeded", func(t *testing.T) {
+		a := NewAuditor(8)
+		a.SetPolicy(lockpolicy.Lease)
+		a.Trace(enqueueEv(0, 1))
+		for i := 0; i <= lockpolicy.MaxBypass; i++ {
+			p := 2 + i
+			a.Trace(enqueueEv(0, p))
+			a.Trace(grantEv(0, p))
+			a.Trace(releaseEv(0, p))
+		}
+		if len(a.Violations()) == 0 {
+			t.Fatalf("waiter bypassed %d times not flagged (bound %d)",
+				lockpolicy.MaxBypass+1, lockpolicy.MaxBypass)
+		}
+	})
+	t.Run("mcs-still-strict", func(t *testing.T) {
+		a := NewAuditor(4)
+		a.SetPolicy(lockpolicy.MCS)
+		a.Trace(enqueueEv(0, 1))
+		a.Trace(enqueueEv(0, 2))
+		a.Trace(grantEv(0, 2))
+		if len(a.Violations()) == 0 {
+			t.Fatal("out-of-order grant under mcs not flagged")
+		}
+	})
+}
+
+// TestPoliciesAgreeDifferentially is the cross-policy differential
+// criterion of docs/LOCKING.md: on the same seed, every grant discipline
+// must run the full protocol comparison cleanly AND produce bit-identical
+// barrier-phase checksums, fault-free and under an injected fault
+// schedule — grant order is the only degree of freedom a policy has.
+func TestPoliciesAgreeDifferentially(t *testing.T) {
+	seeds := []uint64{3, 17, 29}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	light, err := fault.ParseSpec("light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		for _, fcfg := range []*fault.Config{nil, &light} {
+			name := fmt.Sprintf("seed%d", seed)
+			if fcfg != nil {
+				fc := *fcfg
+				fc.Seed = seed
+				fcfg = &fc
+				name += "-faulted"
+			}
+			t.Run(name, func(t *testing.T) {
+				var finals []uint64
+				var phases [][]uint64
+				for _, k := range lockpolicy.Kinds() {
+					w := Generate(seed, 0)
+					w.Policy = string(k)
+					rep := RunWorkloadFault(w, DefaultProtocols(), fcfg)
+					if rep.Failed() {
+						t.Fatalf("policy %s failed:\n%s", k, rep)
+					}
+					finals = append(finals, rep.Runs[0].Final)
+					phases = append(phases, rep.Runs[0].Phases)
+				}
+				for i := 1; i < len(finals); i++ {
+					if finals[i] != finals[0] {
+						t.Errorf("final checksum diverged across policies: %s=%016x vs %s=%016x",
+							lockpolicy.Kinds()[0], finals[0], lockpolicy.Kinds()[i], finals[i])
+					}
+					for p := range phases[0] {
+						if p < len(phases[i]) && phases[i][p] != phases[0][p] {
+							t.Errorf("phase %d checksum diverged across policies %s vs %s",
+								p, lockpolicy.Kinds()[0], lockpolicy.Kinds()[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -30,6 +30,10 @@ type Result struct {
 	VerifyErr error
 	// Deadlocked reports a simulation that wedged (protocol bug).
 	Deadlocked bool
+	// SplitErr, when non-nil, reports that the program's problem splitter
+	// refused the (scale, procs) combination (proto.SplitChecker); the
+	// simulation never ran and every other field is zero.
+	SplitErr error
 }
 
 // Cycles returns the parallel execution time.
@@ -57,6 +61,16 @@ func RunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr t
 // nil fcfg is exactly RunTraced — the fault hooks stay dormant behind
 // their nil checks and the simulated cycle counts are byte-identical.
 func RunFaultTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer, fcfg *fault.Config) *Result {
+	if sc, ok := prog.(proto.SplitChecker); ok {
+		if err := sc.CheckSplit(params.NumProcs); err != nil {
+			return &Result{
+				Run:      stats.NewRun(prog.Name(), pr.Name(), params.NumProcs),
+				Protocol: pr,
+				Program:  prog,
+				SplitErr: err,
+			}
+		}
+	}
 	space := mem.NewSpace(params.PageSize)
 	prog.Init(space, params.NumProcs)
 	if params.ShardHomes {
@@ -139,6 +153,10 @@ func MustRun(params memsys.Params, pr proto.Protocol, prog proto.Program) *Resul
 // MustRunTraced is RunTraced plus the MustRun failure panics.
 func MustRunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer) *Result {
 	r := RunTraced(params, pr, prog, tr)
+	if r.SplitErr != nil {
+		panic(fmt.Sprintf("harness: %s cannot run on %d processors: %v",
+			prog.Name(), params.NumProcs, r.SplitErr))
+	}
 	if r.Deadlocked {
 		panic(fmt.Sprintf("harness: %s under %s deadlocked", prog.Name(), pr.Name()))
 	}

@@ -7,6 +7,7 @@ import (
 	"aecdsm/internal/apps"
 	"aecdsm/internal/fault"
 	"aecdsm/internal/memsys"
+	"aecdsm/internal/proto"
 	"aecdsm/internal/stats"
 )
 
@@ -64,6 +65,22 @@ func (e *Experiments) scalingParams(n int) memsys.Params {
 // an ordered grid, exactly like the Speedup table (docs/SCALING.md).
 func (e *Experiments) ScalingSweep(w io.Writer, app string, procsList []int) {
 	kinds := ScalingKinds()
+	// Drop machine sizes the app's problem splitter cannot feed at this
+	// scale (proto.SplitChecker) instead of letting every cell of the row
+	// fail; the skipped sizes are reported under the table header.
+	var skipped []string
+	probe := appsFactory(app)(apps.Config{Scale: e.Scale, BaseSeed: e.BaseSeed})
+	if sc, ok := probe.(proto.SplitChecker); ok {
+		kept := procsList[:0:0]
+		for _, n := range procsList {
+			if err := sc.CheckSplit(n); err != nil {
+				skipped = append(skipped, fmt.Sprintf("  %5d procs skipped: %v", n, err))
+				continue
+			}
+			kept = append(kept, n)
+		}
+		procsList = kept
+	}
 	cells := make([]scalingCell, len(procsList)*len(kinds))
 	fcfg, err := fault.ParseSpec("light")
 	if err != nil {
@@ -104,6 +121,16 @@ func (e *Experiments) ScalingSweep(w io.Writer, app string, procsList []int) {
 	fmt.Fprintf(w, "recov%% = recovery overhead under the \"light\" fault preset;\n")
 	fmt.Fprintf(w, "remref/sync = messages per lock acquire or barrier arrival (Golab's CC-vs-DSM shape:\n")
 	fmt.Fprintf(w, "flat for the CC-like ideal machine, growing with N for the DSM protocols).\n\n")
+	for _, s := range skipped {
+		fmt.Fprintln(w, s)
+	}
+	if len(procsList) == 0 {
+		fmt.Fprintf(w, "\n  no runnable machine sizes at scale %.2f.\n", e.Scale)
+		return
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "  %5s %-9s %14s %9s %6s %7s %12s\n",
 		"procs", "protocol", "cycles", "vs ideal", "LAP%", "recov%", "remref/sync")
 	for pi, n := range procsList {

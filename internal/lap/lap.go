@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aecdsm/internal/lockpolicy"
 	"aecdsm/internal/trace"
 )
 
@@ -29,8 +30,12 @@ type Predictor struct {
 	ns     int
 	factor float64
 
-	// waitQ is the FIFO of processors waiting for the lock.
-	waitQ []int
+	// queue is the lock's waiting queue under the configured grant
+	// discipline (internal/lockpolicy). The default is the FIFO policy,
+	// whose order and costs are byte-identical to the historical
+	// hardwired []int queue; SetPolicy swaps the discipline at attach
+	// time, before any requester can be waiting.
+	queue lockpolicy.Queue
 	// virtQ is the virtual queue built from acquire notices.
 	virtQ []int
 	// aff[from*nprocs+to] counts ownership transfers from -> to.
@@ -105,13 +110,30 @@ func New(nprocs, ns int) *Predictor {
 	if ns < 1 {
 		ns = 1
 	}
-	return &Predictor{
+	p := &Predictor{
 		nprocs: nprocs,
 		ns:     ns,
 		factor: DefaultAffinityFactor,
 		aff:    make([]uint32, nprocs*nprocs),
 	}
+	p.queue = lockpolicy.New(lockpolicy.FIFO, p)
+	return p
 }
+
+// SetPolicy swaps the lock's grant discipline. It must be called before
+// the first request reaches the manager (the hosting protocol does so at
+// attach time); the predictor itself serves as the policy's oracle.
+func (p *Predictor) SetPolicy(k lockpolicy.Kind) {
+	p.queue = lockpolicy.New(k, p)
+}
+
+// Policy returns the active grant discipline.
+func (p *Predictor) Policy() lockpolicy.Kind { return p.queue.Kind() }
+
+// Predicted implements lockpolicy.Oracle: the last update set this
+// predictor computed, i.e. the processors the releaser's merged diffs
+// were eagerly pushed to (their copies are warm).
+func (p *Predictor) Predicted() []int { return p.pendFull }
 
 // SetAffinityFactor overrides the affinity-set threshold multiplier (the
 // §2.1 footnote's planned sensitivity study). Values <= 0 restore the
@@ -134,21 +156,47 @@ func (p *Predictor) Enqueue(proc int) {
 		ev.Arg = int64(proc)
 		p.Tracer.Trace(ev)
 	}
-	p.waitQ = append(p.waitQ, proc)
+	p.queue.Enqueue(proc)
 }
 
-// Dequeue pops the head of the waiting queue, or -1 if empty.
-func (p *Predictor) Dequeue() int {
-	if len(p.waitQ) == 0 {
-		return -1
+// PickNext asks the policy for the next grantee after releaser let go,
+// removing it from the waiting queue; Proc is -1 when nobody waits. It
+// traces the policy decision (lock-bypass, lease-renew) so the auditor
+// and metrics can ride the event stream.
+func (p *Predictor) PickNext(releaser int) lockpolicy.Pick {
+	pk := p.queue.PickNext(releaser)
+	if p.Tracer != nil && pk.Proc >= 0 {
+		if pk.Bypassed > 0 {
+			ev := trace.Ev(p.now(), p.Mgr, trace.KindLockBypass)
+			ev.Lock = p.Lock
+			ev.Arg, ev.Arg2 = int64(pk.Proc), int64(pk.Bypassed)
+			p.Tracer.Trace(ev)
+		}
+		if pk.Renewal {
+			ev := trace.Ev(p.now(), p.Mgr, trace.KindLeaseRenew)
+			ev.Lock = p.Lock
+			ev.Arg = int64(pk.Proc)
+			p.Tracer.Trace(ev)
+		}
 	}
-	h := p.waitQ[0]
-	p.waitQ = p.waitQ[1:]
-	return h
+	return pk
 }
 
 // QueueLen returns the waiting queue length.
-func (p *Predictor) QueueLen() int { return len(p.waitQ) }
+func (p *Predictor) QueueLen() int { return p.queue.Len() }
+
+// RequestElems is the manager's list-processing element count for one
+// acquire request under the active policy (1 + queue length for the
+// scanning disciplines, a constant for MCS).
+func (p *Predictor) RequestElems() int { return p.queue.RequestElems() }
+
+// GrantElems is the manager's extra list work to choose a grantee at
+// release time (0 for the head-popping disciplines, so the default
+// charges nothing extra).
+func (p *Predictor) GrantElems() int { return p.queue.GrantElems() }
+
+// Waiters appends the waiting processors in arrival order to dst.
+func (p *Predictor) Waiters(dst []int) []int { return p.queue.Waiters(dst) }
 
 // Notice records an acquire notice: proc intends to take the lock soon.
 func (p *Predictor) Notice(proc int) {
@@ -220,10 +268,7 @@ func (p *Predictor) Granted(to, prev int) {
 	p.pending = true
 	p.pendHolder = to
 	p.pendFull = p.UpdateSet(to)
-	p.pendWaitQ = -1
-	if len(p.waitQ) > 0 {
-		p.pendWaitQ = p.waitQ[0]
-	}
+	p.pendWaitQ = p.queue.PeekNext(to)
 	p.pendWaitAff = p.techniqueWaitAff(to)
 	p.pendWaitVirt = p.techniqueWaitVirt(to)
 	if p.Tracer != nil {
@@ -278,8 +323,10 @@ func (p *Predictor) AffinitySet(holder int) []int {
 //  3. fill from (virtual queue ∩ positive affinity);
 //  4. fill from the virtual queue, then remaining positive-affinity procs.
 func (p *Predictor) UpdateSet(holder int) []int {
-	if len(p.waitQ) > 0 {
-		return []int{p.waitQ[0]}
+	if p.queue.Len() > 0 {
+		// The policy's would-be pick, not blindly the arrival-order head:
+		// the push must aim at the waiter that will actually win the lock.
+		return []int{p.queue.PeekNext(holder)}
 	}
 	row := p.aff[holder*p.nprocs : (holder+1)*p.nprocs]
 	us := make([]int, 0, p.ns)
@@ -329,7 +376,7 @@ func (p *Predictor) UpdateSet(holder int) []int {
 // techniqueWaitAff is waitQ+affinity in isolation: queue head if any, else
 // the affinity set truncated to Ns.
 func (p *Predictor) techniqueWaitAff(holder int) []int {
-	if len(p.waitQ) > 0 {
+	if p.queue.Len() > 0 {
 		return nil // the waitQ component covers it
 	}
 	set := p.AffinitySet(holder)
@@ -342,7 +389,7 @@ func (p *Predictor) techniqueWaitAff(holder int) []int {
 // techniqueWaitVirt is waitQ+virtualQ in isolation: queue head if any,
 // else the first Ns virtual-queue entries.
 func (p *Predictor) techniqueWaitVirt(holder int) []int {
-	if len(p.waitQ) > 0 {
+	if p.queue.Len() > 0 {
 		return nil
 	}
 	n := p.ns

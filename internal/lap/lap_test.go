@@ -22,8 +22,8 @@ func TestQueueFIFO(t *testing.T) {
 	if p.QueueLen() != 2 {
 		t.Fatal("queue length")
 	}
-	if p.Dequeue() != 1 || p.Dequeue() != 2 || p.Dequeue() != -1 {
-		t.Fatal("dequeue order")
+	if p.PickNext(0).Proc != 1 || p.PickNext(1).Proc != 2 || p.PickNext(2).Proc != -1 {
+		t.Fatal("pick order")
 	}
 }
 
@@ -117,7 +117,7 @@ func TestUpdateSetInvariants(t *testing.T) {
 				if queued[proc] {
 					continue // waiting procs acquire via dequeue
 				}
-				if h := p.Dequeue(); h >= 0 {
+				if h := p.PickNext(holder).Proc; h >= 0 {
 					delete(queued, h)
 					p.Granted(h, holder)
 					holder = h
@@ -183,7 +183,7 @@ func TestPerfectChainPrediction(t *testing.T) {
 		// While the holder works, another processor starts waiting, so
 		// the queue is non-empty at every grant.
 		p.Enqueue((holder + 2) % 4)
-		next := p.Dequeue()
+		next := p.PickNext(holder).Proc
 		p.Granted(next, holder)
 		holder = next
 	}

@@ -31,7 +31,7 @@ var Blockingcharge = &analysis.Analyzer{
 	Run: runBlockingcharge,
 }
 
-var blockingchargeScope = []string{"proto", "aec", "tm", "munin", "lap"}
+var blockingchargeScope = []string{"proto", "aec", "tm", "munin", "lap", "lockpolicy"}
 
 func runBlockingcharge(pass *analysis.Pass) (any, error) {
 	if !inRepoScope(pass.Pkg.Path(), blockingchargeScope...) {

@@ -27,17 +27,20 @@ var Chargecat = &analysis.Analyzer{
 // charge with a literal constant. Passing a Category variable through is
 // always fine: the literal is checked where it enters.
 var allowedCats = map[string][]string{
-	"sim":     {"Busy", "Data", "Synch", "IPC", "Others", "Recovery"},
-	"proto":   {"Busy", "Data", "Synch", "Others"},
-	"aec":     {"Data", "Synch"},
-	"tm":      {"Data", "Synch"},
-	"munin":   {"Data", "Synch"},
-	"apps":    {"Busy"},
-	"lap":     {},
-	"mem":     {},
-	"memsys":  {},
-	"network": {},
-	"fault":   {}, // the injector decides fates; the engine does the charging
+	"sim":   {"Busy", "Data", "Synch", "IPC", "Others", "Recovery"},
+	"proto": {"Busy", "Data", "Synch", "Others"},
+	"aec":   {"Data", "Synch"},
+	"tm":    {"Data", "Synch"},
+	"munin": {"Data", "Synch"},
+	"apps":  {"Busy"},
+	"lap":   {},
+	// Grant-discipline policies are pure queue computations: the lock
+	// manager that consults them does all the charging (docs/LOCKING.md).
+	"lockpolicy": {},
+	"mem":        {},
+	"memsys":     {},
+	"network":    {},
+	"fault":      {}, // the injector decides fates; the engine does the charging
 }
 
 var chargecatScope = append([]string{"apps"}, protocolScope...)

@@ -151,7 +151,7 @@ func inRepoScope(path string, bases ...string) bool {
 
 // protocolScope is the single-runner core: every package that executes on
 // simulated processors' coroutines or in message-service context.
-var protocolScope = []string{"sim", "proto", "aec", "lap", "tm", "munin", "mem", "memsys", "network", "fault"}
+var protocolScope = []string{"sim", "proto", "aec", "lap", "lockpolicy", "tm", "munin", "mem", "memsys", "network", "fault"}
 
 // calleeOf resolves the called function or method of a call expression,
 // returning nil for calls through function-typed variables and built-ins.

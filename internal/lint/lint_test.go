@@ -61,6 +61,14 @@ func TestChargecat(t *testing.T) {
 	analysistest.Run(t, "testdata", "chargecat", lint.Chargecat)
 }
 
+// TestLockpolicyLayer pins the lockpolicy layer contract from PR 7: the
+// grant-discipline policies never charge cycles themselves (empty
+// allowed-category list), and grant decisions must not leak map iteration
+// order — so the fixture runs both chargecat and determinism.
+func TestLockpolicyLayer(t *testing.T) {
+	analysistest.Run(t, "testdata", "lockpolicy", lint.Chargecat, lint.Determinism)
+}
+
 // TestPR2RegressionShape pins the acceptance criterion that re-introducing
 // the TreadMarks double-diff race (diff published through a reference that
 // went stale across a blocking charge) fails dsmvet: the fixture function

@@ -8,7 +8,11 @@
 // rounded once per operation, never per word.
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"aecdsm/internal/lockpolicy"
+)
 
 // Params holds the system parameters of Table 1 of the paper. The zero
 // value is not useful; start from Default and override fields as needed.
@@ -85,6 +89,12 @@ type Params struct {
 	// the lock id instead of round-robin (lock % NumProcs), which
 	// decorrelates manager placement from application lock numbering.
 	ShardManagers bool
+
+	// LockPolicy selects the lock managers' grant discipline
+	// (docs/LOCKING.md): "", "fifo" (the paper's baseline, byte-identical
+	// to the historical hardwired queue), "mcs", "affinity" or "lease".
+	// The name is parsed by internal/lockpolicy at protocol attach time.
+	LockPolicy string
 }
 
 // Default returns the Table 1 default parameters: a 16-node (4x4 mesh)
@@ -175,6 +185,9 @@ func (p Params) Validate() error {
 		return errf("NetPathWidthBits must be a positive multiple of 8, got %d", p.NetPathWidthBits)
 	case p.TLBEntries <= 0:
 		return errf("TLBEntries must be positive, got %d", p.TLBEntries)
+	}
+	if _, err := lockpolicy.Parse(p.LockPolicy); err != nil {
+		return err
 	}
 	return nil
 }

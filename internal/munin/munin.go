@@ -25,6 +25,7 @@ import (
 
 	"aecdsm/internal/bitset"
 	"aecdsm/internal/lap"
+	"aecdsm/internal/lockpolicy"
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
@@ -207,8 +208,13 @@ func (pr *Munin) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 			fetching: map[int]bool{}, stale: map[int]bool{}, curLock: -1}
 	}
 	pr.locks = make([]*lockState, pr.numLocks)
+	pol, err := lockpolicy.Parse(e.Params.LockPolicy)
+	if err != nil {
+		panic("munin: " + err.Error())
+	}
 	for i := range pr.locks {
 		p := lap.New(pr.nprocs, pr.opt.Ns)
+		p.SetPolicy(pol)
 		if e.Tracer != nil {
 			p.Tracer, p.Lock, p.Mgr, p.Clock = e.Tracer, i, pr.mgrOf(i), e.Now
 		}
@@ -369,7 +375,7 @@ func (pr *Munin) Acquire(c *proto.Ctx, lock int) {
 func (pr *Munin) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 	req := m.Payload.(acqReq)
 	l := pr.locks[req.lock]
-	s.ChargeList(1 + l.pred.QueueLen())
+	s.ChargeList(l.pred.RequestElems())
 	if l.held {
 		l.pred.Enqueue(req.from)
 		return
@@ -435,8 +441,17 @@ func (pr *Munin) handleRel(s *sim.Svc, m *sim.Msg) {
 	l.held = false
 	l.holder = -1
 	l.last = m.From
-	if next := l.pred.Dequeue(); next >= 0 {
-		pr.grantLock(s, r.lock, next)
+	// Hand the lock on per the grant policy (0 extra list elements for
+	// the head-popping disciplines).
+	s.ChargeList(l.pred.GrantElems())
+	if pk := l.pred.PickNext(m.From); pk.Proc >= 0 {
+		if pk.Bypassed > 0 {
+			s.P.Stats.GrantBypasses++
+		}
+		if pk.Renewal {
+			s.P.Stats.LeaseRenewals++
+		}
+		pr.grantLock(s, r.lock, pk.Proc)
 	}
 }
 

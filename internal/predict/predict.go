@@ -1,0 +1,138 @@
+// Package predict is the analytical side of the lock-policy lab
+// (docs/LOCKING.md): a mean-value analysis of the closed queueing system
+// a contended lock forms. N processors cycle forever through think
+// (compute between critical sections), wait (queued at the lock manager)
+// and service (hold the lock, plus the manager's handoff work); the exact
+// MVA recurrence for a single-server closed network then yields the mean
+// wait, queue length and throughput without simulating anything.
+//
+// The model consumes exactly what the trace-metrics sink measures per
+// lock (internal/trace.Metrics): the mean hold time H from the hold-cycle
+// histogram, the mean think time Z from the release-to-next-request gap
+// histogram, and the mean serialized handoff O from the
+// release-to-contended-grant histogram (which captures the release-side
+// diff creation and LAP pushes the cost parameters alone cannot give).
+// The emergent quantities — mean wait, queue length, throughput — are
+// then predicted, not measured, which is what the lab's error column
+// checks. Handoff derives an analytic messaging-floor O from the Table 1
+// parameters and the grant discipline's documented list-charge shape
+// (internal/lockpolicy) for locks whose handoff was never observed.
+package predict
+
+import (
+	"aecdsm/internal/lockpolicy"
+	"aecdsm/internal/memsys"
+)
+
+// Inputs parameterizes the closed queueing model of one lock.
+type Inputs struct {
+	// Procs is the number of processors cycling through the lock (the
+	// customer population of the closed network).
+	Procs int
+	// HoldCycles is the mean critical-section hold time H, measured as
+	// grant-to-release cycles (trace.LockSummary.HoldCy.Mean()).
+	HoldCycles float64
+	// ThinkCycles is the mean time Z a processor spends between releasing
+	// the lock and requesting it again (trace.LockSummary.GapCy.Mean()).
+	ThinkCycles float64
+	// HandoffCycles is the per-acquisition manager overhead O that is
+	// serialized at the lock but not part of the hold: messaging legs plus
+	// the policy's list processing (see Handoff).
+	HandoffCycles float64
+}
+
+// Outcome is the model's prediction for one lock.
+type Outcome struct {
+	// WaitCycles is the predicted mean request-to-grant wait.
+	WaitCycles float64
+	// Throughput is the predicted lock acquisition rate in acquires per
+	// simulated cycle (the closed network's X).
+	Throughput float64
+	// QueueLen is the predicted mean number of processors at the lock
+	// (waiting or holding).
+	QueueLen float64
+}
+
+// MVA evaluates the exact mean-value analysis recurrence for a closed
+// single-server network with in.Procs customers: for k = 1..N,
+//
+//	R_k = s * (1 + Q_{k-1})   // residence: service plus the queue found
+//	X_k = k / (R_k + Z)       // cycle time gives throughput
+//	Q_k = X_k * R_k           // Little's law at the station
+//
+// with service time s = H + O. The predicted wait is the residence time
+// minus the caller's own service, R - s, plus the handoff O that the
+// simulation's request-to-grant window does include: R - H.
+func MVA(in Inputs) Outcome {
+	s := in.HoldCycles + in.HandoffCycles
+	if in.Procs < 1 || s <= 0 {
+		return Outcome{}
+	}
+	var r, x, q float64
+	for k := 1; k <= in.Procs; k++ {
+		r = s * (1 + q)
+		x = float64(k) / (r + in.ThinkCycles)
+		q = x * r
+	}
+	w := r - in.HoldCycles
+	if w < 0 {
+		w = 0
+	}
+	return Outcome{WaitCycles: w, Throughput: x, QueueLen: q}
+}
+
+// Handoff derives the per-acquisition manager overhead O from the
+// machine's cost parameters: two one-way message legs that every
+// acquisition serializes at the manager (release-or-request in, grant
+// out), the LAP update-set processing the AEC grant path charges
+// (ListCycles(ns+1)), and the grant discipline's own list charges with
+// the queue at its mean length q (docs/LOCKING.md):
+//
+//	fifo      1+q request, 0 grant   (append scan)
+//	mcs       2 request, 0 grant     (O(1) tail swap)
+//	affinity  1+q request, q grant   (affinity scan of the queue)
+//	lease     1+q request, 1 grant   (lease bookkeeping)
+func Handoff(p memsys.Params, kind lockpolicy.Kind, q float64, ns int) float64 {
+	if q < 0 {
+		q = 0
+	}
+	var elems float64
+	switch kind {
+	case lockpolicy.MCS:
+		elems = 2
+	case lockpolicy.Affinity:
+		elems = (1 + q) + q
+	case lockpolicy.Lease:
+		elems = (1 + q) + 1
+	default: // FIFO
+		elems = 1 + q
+	}
+	if ns > 0 {
+		elems += float64(ns + 1)
+	}
+	return 2*oneWay(p) + float64(p.ListPerElemCycles)*elems
+}
+
+// oneWay is the latency of one header-only protocol message: software
+// overhead and I/O bus DMA at the sender, the wormhole network crossing
+// at the mesh's mean Manhattan distance, then interrupt dispatch and the
+// I/O bus again at the receiver.
+func oneWay(p memsys.Params) float64 {
+	words := p.Words(p.MsgHeaderBytes)
+	ioBus := float64(p.IOBusSetupCycles) + p.IOBusPerWordCycles*float64(words)
+	hops := meanHops(p.MeshW, p.MeshH)
+	flits := float64(p.MsgHeaderBytes*8) / float64(p.NetPathWidthBits)
+	net := hops*float64(p.SwitchCycles+p.WireCycles) + flits
+	return float64(p.MsgOverheadCycles) + ioBus + net +
+		float64(p.InterruptCycles) + ioBus
+}
+
+// meanHops is the expected Manhattan distance between two independently
+// uniform nodes of a w x h mesh: (w^2-1)/(3w) + (h^2-1)/(3h).
+func meanHops(w, h int) float64 {
+	if w < 1 || h < 1 {
+		return 0
+	}
+	fw, fh := float64(w), float64(h)
+	return (fw*fw-1)/(3*fw) + (fh*fh-1)/(3*fh)
+}

@@ -20,3 +20,14 @@ type Program interface {
 	// if the computed results were correct.
 	Err() error
 }
+
+// SplitChecker is implemented by programs whose problem decomposition has
+// a minimum problem size per processor. CheckSplit reports — before any
+// memory is allocated — whether the program can feed nprocs processors at
+// its configured problem size; the error explains the size constraint.
+// The harness consults it up front so an infeasible (app, scale, procs)
+// combination fails with a clear diagnostic (or is skipped in sweeps)
+// instead of misbehaving mid-run.
+type SplitChecker interface {
+	CheckSplit(nprocs int) error
+}

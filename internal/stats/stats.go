@@ -111,6 +111,11 @@ type Proc struct {
 	BarrierArrivals uint64
 	AcquireNotices  uint64
 
+	// Lock-policy accounting (docs/LOCKING.md; zero under the default
+	// FIFO discipline, counted at the lock's manager).
+	GrantBypasses uint64 // grants that passed over earlier-arrived waiters
+	LeaseRenewals uint64 // lease self-renewals ahead of other waiters
+
 	// Messaging.
 	MsgsSent  uint64
 	BytesSent uint64

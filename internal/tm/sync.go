@@ -113,9 +113,8 @@ func (pr *TM) applyWNsHybrid(c *proto.Ctx, st *tmProc, wns []wnRef, piggy []ival
 func (pr *TM) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 	req := m.Payload.(acqReq)
 	l := pr.locks[req.lock]
-	s.ChargeList(1 + len(l.queue))
+	s.ChargeList(l.pred.RequestElems())
 	if l.held {
-		l.queue = append(l.queue, req.from)
 		l.pred.Enqueue(req.from)
 		// Stash the requester's vector clock for the eventual grant.
 		pr.ps[req.from].stashVC = req.vc
@@ -210,12 +209,19 @@ func (pr *TM) handleRel(s *sim.Svc, m *sim.Msg) {
 	l.lastReleaser = m.From
 	l.held = false
 	l.holder = -1
-	if len(l.queue) > 0 {
-		next := l.queue[0]
-		l.queue = l.queue[1:]
+	// Hand the lock on per the grant policy (0 extra list elements for
+	// the head-popping disciplines).
+	s.ChargeList(l.pred.GrantElems())
+	if pk := l.pred.PickNext(m.From); pk.Proc >= 0 {
+		next := pk.Proc
+		if pk.Bypassed > 0 {
+			s.P.Stats.GrantBypasses++
+		}
+		if pk.Renewal {
+			s.P.Stats.LeaseRenewals++
+		}
 		l.held = true
 		l.holder = next
-		l.pred.Dequeue()
 		l.pred.Granted(next, l.lastReleaser)
 		vc := pr.ps[next].stashVC
 		if vc == nil {

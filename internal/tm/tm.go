@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"aecdsm/internal/lap"
+	"aecdsm/internal/lockpolicy"
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
@@ -196,7 +197,6 @@ type lockState struct {
 	held         bool
 	holder       int
 	lastReleaser int
-	queue        []int
 	pred         *lap.Predictor
 }
 
@@ -271,9 +271,14 @@ func (pr *TM) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 			history:   make(map[int][]wnRef),
 		}
 	}
+	pol, err := lockpolicy.Parse(e.Params.LockPolicy)
+	if err != nil {
+		panic("tm: " + err.Error())
+	}
 	pr.locks = make([]*lockState, pr.numLocks)
 	for i := range pr.locks {
 		p := lap.New(pr.nprocs, 2)
+		p.SetPolicy(pol)
 		if e.Tracer != nil {
 			p.Tracer, p.Lock, p.Mgr, p.Clock = e.Tracer, i, pr.mgrOf(i), e.Now
 		}

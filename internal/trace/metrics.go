@@ -21,6 +21,19 @@ type Metrics struct {
 	// In-flight episodes keyed by (proc, lock).
 	reqAt   map[[2]int]uint64
 	grantAt map[[2]int]uint64
+	// relAt stamps a processor's last release of a lock, closing the
+	// release -> next-request gap episode (the analytical predictor's
+	// think time, internal/predict).
+	relAt map[[2]int]uint64
+	// waiting mirrors each lock's waiting-queue membership from
+	// lock-enqueue/lock-grant events, backing the queue-length histogram.
+	waiting map[int]map[int]bool
+	// lockRelAt stamps each lock's latest release (any holder), opening a
+	// handoff episode: it closes at the next grant IF that grantee was
+	// already waiting when the release happened, so the interval is pure
+	// serialized handoff (release-side diff/push work, manager processing,
+	// messaging) with no idle time in it.
+	lockRelAt map[int]uint64
 
 	msgs      uint64
 	msgBytes  uint64
@@ -34,8 +47,13 @@ type lockAgg struct {
 	pushes   uint64
 	pushByte uint64
 	notices  uint64
+	bypasses uint64
+	renewals uint64
 	hold     Histogram
 	wait     Histogram
+	gap      Histogram
+	qlen     Histogram
+	handoff  Histogram
 }
 
 type pageAgg struct {
@@ -53,10 +71,13 @@ type pageAgg struct {
 // NewMetrics builds an empty metrics sink.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		locks:   map[int]*lockAgg{},
-		pages:   map[int]*pageAgg{},
-		reqAt:   map[[2]int]uint64{},
-		grantAt: map[[2]int]uint64{},
+		locks:     map[int]*lockAgg{},
+		pages:     map[int]*pageAgg{},
+		reqAt:     map[[2]int]uint64{},
+		grantAt:   map[[2]int]uint64{},
+		relAt:     map[[2]int]uint64{},
+		waiting:   map[int]map[int]bool{},
+		lockRelAt: map[int]uint64{},
 	}
 }
 
@@ -83,22 +104,48 @@ func (m *Metrics) Trace(ev Event) {
 	m.events++
 	switch ev.Kind {
 	case KindLockRequest:
-		m.reqAt[[2]int{ev.Proc, ev.Lock}] = ev.Cycle
+		key := [2]int{ev.Proc, ev.Lock}
+		m.reqAt[key] = ev.Cycle
+		if at, ok := m.relAt[key]; ok && ev.Cycle >= at {
+			m.lock(ev.Lock).gap.Observe(ev.Cycle - at)
+			delete(m.relAt, key)
+		}
+	case KindLockEnqueue:
+		// Proc is the manager; Arg is the enqueued requester. Observe the
+		// queue length the requester found (before its own insertion).
+		w := m.waiting[ev.Lock]
+		if w == nil {
+			w = map[int]bool{}
+			m.waiting[ev.Lock] = w
+		}
+		m.lock(ev.Lock).qlen.Observe(uint64(len(w)))
+		w[int(ev.Arg)] = true
+	case KindLockBypass:
+		m.lock(ev.Lock).bypasses++
+	case KindLeaseRenew:
+		m.lock(ev.Lock).renewals++
 	case KindLockGrant:
 		l := m.lock(ev.Lock)
 		l.acquires++
 		key := [2]int{ev.Proc, ev.Lock}
 		if at, ok := m.reqAt[key]; ok && ev.Cycle >= at {
 			l.wait.Observe(ev.Cycle - at)
+			if rel, had := m.lockRelAt[ev.Lock]; had && at <= rel && ev.Cycle >= rel {
+				l.handoff.Observe(ev.Cycle - rel)
+			}
 			delete(m.reqAt, key)
 		}
+		delete(m.lockRelAt, ev.Lock)
 		m.grantAt[key] = ev.Cycle
+		delete(m.waiting[ev.Lock], ev.Proc)
 	case KindLockRelease:
 		key := [2]int{ev.Proc, ev.Lock}
 		if at, ok := m.grantAt[key]; ok && ev.Cycle >= at {
 			m.lock(ev.Lock).hold.Observe(ev.Cycle - at)
 			delete(m.grantAt, key)
 		}
+		m.relAt[key] = ev.Cycle
+		m.lockRelAt[ev.Lock] = ev.Cycle
 	case KindLAPNotice:
 		m.lock(ev.Lock).notices++
 	case KindLAPHit:
@@ -186,8 +233,13 @@ type LockSummary struct {
 	Accuracy  float64   `json:"accuracyPct"` // -1 when never evaluated
 	Pushes    uint64    `json:"pushes"`
 	PushBytes uint64    `json:"pushBytes"`
+	Bypasses  uint64    `json:"bypasses"`
+	Renewals  uint64    `json:"leaseRenewals"`
 	HoldCy    Histogram `json:"holdCycles"`
 	WaitCy    Histogram `json:"waitCycles"`
+	GapCy     Histogram `json:"gapCycles"`
+	QueueLen  Histogram `json:"queueLenAtEnqueue"`
+	HandoffCy Histogram `json:"handoffCycles"`
 }
 
 // PageSummary is the exported per-page metrics record.
@@ -238,7 +290,10 @@ func (m *Metrics) Summary() Summary {
 			Lock: id, Acquires: l.acquires, Notices: l.notices,
 			PredHits: l.hits, PredMiss: l.misses, Accuracy: acc,
 			Pushes: l.pushes, PushBytes: l.pushByte,
+			Bypasses: l.bypasses, Renewals: l.renewals,
 			HoldCy: l.hold, WaitCy: l.wait,
+			GapCy: l.gap, QueueLen: l.qlen,
+			HandoffCy: l.handoff,
 		})
 	}
 	pageIDs := make([]int, 0, len(m.pages))

@@ -125,6 +125,14 @@ const (
 	// KindLAPFallback: an acquirer timed out waiting for a (lost) eager
 	// push and fell back to explicit fetches. Arg = expected pusher.
 	KindLAPFallback
+	// KindLockBypass: a reordering lock policy (affinity, lease) granted
+	// the lock past earlier-arrived waiters. Proc = manager, Arg = the
+	// grantee, Arg2 = number of waiters bypassed (docs/LOCKING.md).
+	KindLockBypass
+	// KindLeaseRenew: the lease policy re-granted the lock to the current
+	// leaseholder ahead of other waiters. Proc = manager, Arg = the
+	// leaseholder.
+	KindLeaseRenew
 
 	numKinds
 )
@@ -161,6 +169,8 @@ var kindNames = [numKinds]string{
 	KindMsgAck:        "msg-ack",
 	KindFaultStall:    "fault-stall",
 	KindLAPFallback:   "lap-fallback",
+	KindLockBypass:    "lock-bypass",
+	KindLeaseRenew:    "lease-renew",
 }
 
 // String returns the stable wire name of the kind (used by all sinks).
@@ -177,7 +187,8 @@ func (k Kind) Category() string {
 	switch k {
 	case KindRunStart, KindRunEnd:
 		return "run"
-	case KindLockRequest, KindLockEnqueue, KindLockGrant, KindLockRelease:
+	case KindLockRequest, KindLockEnqueue, KindLockGrant, KindLockRelease,
+		KindLockBypass, KindLeaseRenew:
 		return "lock"
 	case KindLAPNotice, KindLAPPredict, KindLAPHit, KindLAPMiss, KindLAPPush, KindUpdatePush:
 		return "lap"
