@@ -9,10 +9,13 @@
 //
 //	go run ./cmd/dsmvet ./...
 //	go run ./cmd/dsmvet -run blockingcharge,tracedisc ./internal/tm
+//	go run ./cmd/dsmvet -json ./...
+//	go run ./cmd/dsmvet -unused-directives ./...
 //	go run ./cmd/dsmvet -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +26,33 @@ import (
 	"aecdsm/internal/lint/loader"
 )
 
+// jsonFinding is the machine-readable shape of one finding, consumed by
+// the GitHub Actions problem matcher and any editor integration.
+type jsonFinding struct {
+	File     string     `json:"file"`
+	Line     int        `json:"line"`
+	Col      int        `json:"col"`
+	Analyzer string     `json:"analyzer"`
+	Message  string     `json:"message"`
+	Path     []jsonStep `json:"path,omitempty"`
+}
+
+// jsonStep is one point on a dataflow finding's witness path.
+type jsonStep struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	What string `json:"what"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	unusedFlag := flag.Bool("unused-directives", false,
+		"report only directive hygiene: unused/malformed //dsmvet:allow and stale //dsmvet:crossengine markers")
+	noCacheFlag := flag.Bool("nocache", false, "bypass the loader's type-information cache")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dsmvet [-list] [-run names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: dsmvet [-list] [-run names] [-json] [-unused-directives] [-nocache] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,25 +87,58 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
+	if *noCacheFlag {
+		loader.DisableCache()
+	}
 	pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsmvet: %v\n", err)
 		os.Exit(2)
 	}
 
-	failed := false
+	var allFindings []lint.Finding
 	for _, pkg := range pkgs {
-		findings, err := lint.RunPackage(pkg, analyzers)
+		var findings []lint.Finding
+		var err error
+		if *unusedFlag {
+			findings, err = lint.AuditDirectives(pkg, analyzers)
+		} else {
+			findings, err = lint.RunPackage(pkg, analyzers)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsmvet: %v\n", err)
 			os.Exit(2)
 		}
-		for _, f := range findings {
+		allFindings = append(allFindings, findings...)
+	}
+
+	if *jsonFlag {
+		out := make([]jsonFinding, 0, len(allFindings))
+		for _, f := range allFindings {
+			jf := jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}
+			for _, s := range f.Path {
+				jf.Path = append(jf.Path, jsonStep{File: s.Pos.Filename, Line: s.Pos.Line, What: s.What})
+			}
+			out = append(out, jf)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range allFindings {
 			fmt.Println(f)
-			failed = true
 		}
 	}
-	if failed {
+	if len(allFindings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -131,6 +131,11 @@ func (pr *AEC) Acquire(c *proto.Ctx, lock int) {
 				// and the flags must land in the buffer the diff was
 				// read from (the PR 2 double-diff lesson).
 				st.accessedCur[pg] = true
+				// The loop-carried write below lands in buf on purpose:
+				// even if handlePush swaps st.recv[lock] during the apply
+				// charge, the applied flags belong to the buffer this
+				// iteration's diff was read from, not the replacement.
+				//dsmvet:allow blockingcharge applied flags must mark the buffer the diff came from, not a replacement
 				buf.applied[pg] = true
 				pr.chargeDiffApply(c, d, stats.Synch, false)
 				pr.applyDiffData(c, d)

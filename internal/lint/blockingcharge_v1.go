@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"aecdsm/internal/lint/analysis"
+)
+
+// BlockingchargeSyntactic is the original (PR 3) syntactic blockingcharge:
+// a linear, source-order scan for map loads written through after a
+// blocking charge within one function. It is no longer registered — the
+// flow-sensitive, interprocedural v2 in blockingcharge.go replaced it —
+// but it is kept so the test suite can demonstrate exactly which shapes
+// the syntactic approximation misses (the interprocedural PR 2 variant,
+// loop-carried staleness) and which it over-reports (a charge that sits
+// between load and publish in source order but on no execution path).
+var BlockingchargeSyntactic = &analysis.Analyzer{
+	Name: "blockingcharge",
+	Doc: "syntactic v1 of blockingcharge (source-order, same-function only); " +
+		"superseded by the dataflow v2, kept for regression comparison",
+	Run: runBlockingchargeV1,
+}
+
+var blockingchargeScope = []string{"proto", "aec", "tm", "munin", "lap", "lockpolicy"}
+
+func runBlockingchargeV1(pass *analysis.Pass) (any, error) {
+	if !inRepoScope(pass.Pkg.Path(), blockingchargeScope...) {
+		return nil, nil
+	}
+	blocking := blockingFuncs(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBlockingBody(pass, blocking, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBlockingBody(pass, blocking, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// tracked is one watched reference into shared protocol state.
+type tracked struct {
+	obj     types.Object
+	loadPos token.Pos // where the reference was loaded
+	what    string    // description of the load site
+	// lastReassign is the position of the most recent rebinding, which
+	// refreshes the reference and clears staleness up to that point.
+	lastReassign token.Pos
+}
+
+// checkBlockingBody runs the linear load/block/write analysis over one
+// function body. The analysis is flow-insensitive across branches (source
+// order approximates execution order), which matches the straight-line
+// publish-after-charge shape of the PR 2 race; fixtures pin the behavior.
+func checkBlockingBody(pass *analysis.Pass, blocking map[*types.Func]bool, body *ast.BlockStmt) {
+	watch := make(map[types.Object]*tracked)
+
+	type event struct {
+		pos   token.Pos
+		kind  int // 0 = blocking call, 1 = write-through, 2 = (re)load
+		t     *tracked
+		obj   types.Object
+		expr  string
+		nline int
+	}
+	var events []event
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately; runs at another time
+		case *ast.CallExpr:
+			if isBlockingCall(pass, blocking, x) {
+				events = append(events, event{pos: x.Pos(), kind: 0})
+			}
+			// delete(v.f, k) / delete(v, k) mutates through v.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					if base := baseIdent(x.Args[0]); base != nil {
+						if obj := pass.TypesInfo.ObjectOf(base); obj != nil {
+							events = append(events, event{pos: x.Pos(), kind: 1, obj: obj, expr: "delete through " + base.Name})
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				// Plain rebinding of a watched variable refreshes it.
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := pass.TypesInfo.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					events = append(events, event{pos: x.Pos(), kind: 2, obj: obj,
+						expr: mapLoadDesc(pass, x, i)})
+					continue
+				}
+				// Writes through a selector/index chain rooted at a
+				// watched variable are publications.
+				if base := baseIdent(lhs); base != nil {
+					if obj := pass.TypesInfo.ObjectOf(base); obj != nil {
+						events = append(events, event{pos: lhs.Pos(), kind: 1, obj: obj, expr: "write through " + base.Name})
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if base := baseIdent(x.X); base != nil {
+				if obj := pass.TypesInfo.ObjectOf(base); obj != nil {
+					events = append(events, event{pos: x.Pos(), kind: 1, obj: obj, expr: "write through " + base.Name})
+				}
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var lastBlock token.Pos = token.NoPos
+	var lastBlockLine int
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			lastBlock = ev.pos
+			lastBlockLine = pass.Fset.Position(ev.pos).Line
+		case 2:
+			if ev.expr != "" { // load from a map: start (or refresh) watching
+				watch[ev.obj] = &tracked{obj: ev.obj, loadPos: ev.pos, what: ev.expr, lastReassign: ev.pos}
+			} else if t, ok := watch[ev.obj]; ok {
+				// Rebinding from something else: treat as a refresh.
+				t.lastReassign = ev.pos
+			}
+		case 1:
+			t, ok := watch[ev.obj]
+			if !ok {
+				continue
+			}
+			// Stale iff a blocking call sits between the (re)load and
+			// this write, with no refresh in between.
+			if lastBlock > t.loadPos && lastBlock > t.lastReassign && lastBlock < ev.pos {
+				pass.Reportf(ev.pos, "%s (%s loaded at line %d) after a blocking charge at line %d: the record may have been replaced or consumed while virtual time advanced; publish before the charge or reload after it",
+					ev.expr, t.what, pass.Fset.Position(t.loadPos).Line, lastBlockLine)
+			}
+		}
+	}
+}
+
+// mapLoadDesc describes a map-index load assigned into LHS i of the
+// statement, or "" when the RHS is not a map load.
+func mapLoadDesc(pass *analysis.Pass, x *ast.AssignStmt, i int) string {
+	var rhs ast.Expr
+	switch {
+	case len(x.Rhs) == len(x.Lhs):
+		rhs = x.Rhs[i]
+	case len(x.Rhs) == 1: // v, ok := m[k]
+		rhs = x.Rhs[0]
+	default:
+		return ""
+	}
+	idx, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+	if !ok {
+		return ""
+	}
+	t := pass.TypeOf(idx.X)
+	if t == nil {
+		return ""
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return ""
+	}
+	return "map load " + types.ExprString(rhs)
+}

@@ -1,0 +1,572 @@
+package lint
+
+// The control-flow graph under dsmvet's dataflow tier. One CFG is built
+// per function body (FuncDecl or FuncLit); nested function literals get
+// their own graphs. Blocks hold the simple statements and decomposed
+// condition leaves in evaluation order; all control structure lives in
+// the edges, so the solver in dataflow.go never needs to understand Go
+// syntax beyond one node at a time.
+//
+// The builder covers the full statement language the simulator uses:
+// if/else with short-circuit && and || decomposed into branch edges,
+// for and range loops, switch and type switch (with fallthrough),
+// labeled statements with goto and labeled break/continue, defer
+// (deferred calls run on a synthetic exit chain, in reverse order), and
+// panic / runtime-terminating calls, which end their block with no
+// successor so facts on a panicking path never reach the function exit.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: straight-line nodes plus out-edges.
+type Block struct {
+	Index int
+	Kind  string // builder provenance ("entry", "if.then", "for.body", ...) for tests and debugging
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Panics marks a block terminated by panic or a runtime-exit call;
+	// it deliberately has no successors.
+	Panics bool
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry
+	Entry  *Block
+	// Exit is the single synthetic exit. Return statements and the fall
+	// off the end of the body reach it (through the defer chain when the
+	// function defers anything); panicking blocks do not.
+	Exit *Block
+}
+
+// BuildCFG constructs the graph for a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:    &CFG{},
+		labels: make(map[string]*labelBlocks),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.current = b.cfg.Entry
+	b.stmtList(body.List)
+	// The defer chain sits between every normal exit and Exit, carrying
+	// the deferred calls in reverse declaration order (last in, first
+	// out, as the runtime unwinds them).
+	if len(b.defers) > 0 {
+		chain := b.newBlock("defers")
+		for i := len(b.defers) - 1; i >= 0; i-- {
+			chain.Nodes = append(chain.Nodes, b.defers[i])
+		}
+		chain.Succs = []*Block{b.cfg.Exit}
+		for _, from := range b.exiting {
+			from.Succs = append(from.Succs, chain)
+		}
+		if b.current != nil {
+			b.current.Succs = append(b.current.Succs, chain)
+		}
+	} else {
+		for _, from := range b.exiting {
+			from.Succs = append(from.Succs, b.cfg.Exit)
+		}
+		if b.current != nil {
+			b.current.Succs = append(b.current.Succs, b.cfg.Exit)
+		}
+	}
+	return b.cfg
+}
+
+// RangeBinding is the synthetic node a range loop's head block carries:
+// the per-iteration Key/Value rebinding of Rng.Key/Rng.Value from the
+// ranged container. It is NOT a real syntax node — transfer functions
+// must handle it by type switch and never pass it to ast.Inspect (the
+// loop body inside Rng belongs to other blocks).
+type RangeBinding struct {
+	Rng *ast.RangeStmt
+}
+
+// Pos and End make RangeBinding satisfy ast.Node for positions only.
+func (r RangeBinding) Pos() token.Pos { return r.Rng.Pos() }
+func (r RangeBinding) End() token.Pos { return r.Rng.TokPos }
+
+// labelBlocks tracks the targets a label can be jumped to.
+type labelBlocks struct {
+	// target is the block a goto or labeled continue lands on; for a
+	// labeled loop it is the loop head, for any other labeled statement
+	// the statement's own block.
+	target *Block
+	// brk is the block a labeled break jumps to (set while the labeled
+	// loop/switch is being built).
+	brk *Block
+	// cont is the labeled loop's post/backedge block.
+	cont *Block
+}
+
+type builder struct {
+	cfg     *CFG
+	current *Block // nil while the builder is in dead code (after return/goto/panic)
+
+	// breaks / continues are the innermost enclosing targets.
+	breaks    []*Block
+	continues []*Block
+
+	labels map[string]*labelBlocks
+
+	// pendingLabel, when set, names the label to bind to the next
+	// loop/switch statement so labeled break/continue resolve to it.
+	pendingLabel string
+
+	// defers collects deferred call expressions, replayed on the exit chain.
+	defers []ast.Node
+
+	// exiting lists blocks ended by a return, wired to the exit (or the
+	// defer chain) once the whole body is built.
+	exiting []*Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startBlock begins a fresh block reachable from the current one.
+func (b *builder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, blk)
+	}
+	return blk
+}
+
+// add appends a node to the current block (no-op in dead code).
+func (b *builder) add(n ast.Node) {
+	if b.current != nil {
+		b.current.Nodes = append(b.current.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminates reports whether a call expression never returns: panic, or
+// one of the runtime-exit calls (os.Exit, log.Fatal*, runtime.Goexit,
+// testing's t.Fatal* are not seen in shipped sources).
+func terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+
+	case *ast.ExprStmt:
+		b.add(x)
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && terminates(call) {
+			if b.current != nil {
+				b.current.Panics = true
+			}
+			b.current = nil
+		}
+
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.DeferStmt:
+		// The defer registration itself is a node (its operands are
+		// evaluated here); the deferred call replays on the exit chain
+		// as a bare CallExpr. Analyses that must not run the call twice
+		// skip the call inside the DeferStmt node and process it when it
+		// reappears in the "defers" block.
+		b.add(x)
+		b.defers = append(b.defers, x.Call)
+
+	case *ast.ReturnStmt:
+		b.add(x)
+		if b.current != nil {
+			b.exiting = append(b.exiting, b.current)
+		}
+		b.current = nil
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(x)
+
+	case *ast.BranchStmt:
+		b.branchStmt(x)
+
+	case *ast.IfStmt:
+		b.ifStmt(x)
+
+	case *ast.ForStmt:
+		b.forStmt(x, b.takeLabel())
+
+	case *ast.RangeStmt:
+		b.rangeStmt(x, b.takeLabel())
+
+	case *ast.SwitchStmt:
+		b.switchStmt(x, b.takeLabel())
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(x, b.takeLabel())
+
+	case *ast.SelectStmt:
+		b.selectStmt(x, b.takeLabel())
+
+	default:
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the pending label for a loop/switch statement.
+func (b *builder) takeLabel() *labelBlocks {
+	if b.pendingLabel == "" {
+		return nil
+	}
+	lb := b.labels[b.pendingLabel]
+	b.pendingLabel = ""
+	return lb
+}
+
+func (b *builder) labeledStmt(x *ast.LabeledStmt) {
+	name := x.Label.Name
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	// The label's target: a fresh block, reachable by fallthrough from
+	// above and by any goto (earlier gotos were wired to a placeholder).
+	if lb.target == nil {
+		lb.target = b.newBlock("label." + name)
+	}
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, lb.target)
+	}
+	b.current = lb.target
+	b.pendingLabel = name
+	b.stmt(x.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *builder) branchStmt(x *ast.BranchStmt) {
+	b.add(x)
+	switch x.Tok {
+	case token.BREAK:
+		var target *Block
+		if x.Label != nil {
+			if lb := b.labels[x.Label.Name]; lb != nil {
+				target = lb.brk
+			}
+		} else if len(b.breaks) > 0 {
+			target = b.breaks[len(b.breaks)-1]
+		}
+		if target != nil && b.current != nil {
+			b.current.Succs = append(b.current.Succs, target)
+		}
+		b.current = nil
+	case token.CONTINUE:
+		var target *Block
+		if x.Label != nil {
+			if lb := b.labels[x.Label.Name]; lb != nil {
+				target = lb.cont
+			}
+		} else if len(b.continues) > 0 {
+			target = b.continues[len(b.continues)-1]
+		}
+		if target != nil && b.current != nil {
+			b.current.Succs = append(b.current.Succs, target)
+		}
+		b.current = nil
+	case token.GOTO:
+		if x.Label != nil {
+			lb := b.labels[x.Label.Name]
+			if lb == nil {
+				lb = &labelBlocks{}
+				b.labels[x.Label.Name] = lb
+			}
+			if lb.target == nil {
+				// Forward goto: make the placeholder now; labeledStmt
+				// will fill it in when the label is reached.
+				lb.target = b.newBlock("label." + x.Label.Name)
+			}
+			if b.current != nil {
+				b.current.Succs = append(b.current.Succs, lb.target)
+			}
+		}
+		b.current = nil
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt (the clause body falls into
+		// the next clause's body block); nothing to wire here.
+	}
+}
+
+// cond wires the condition expression between the current block and the
+// two branch targets, decomposing short-circuit && / || and ! so each
+// leaf lands in the block whose out-edges reflect when it actually runs.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			rhs := b.newBlock("cond.and")
+			b.cond(x.X, rhs, f)
+			b.current = rhs
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			rhs := b.newBlock("cond.or")
+			b.cond(x.X, t, rhs)
+			b.current = rhs
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.add(e)
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, t, f)
+	}
+	b.current = nil
+}
+
+func (b *builder) ifStmt(x *ast.IfStmt) {
+	if x.Init != nil {
+		b.stmt(x.Init)
+	}
+	then := b.newBlock("if.then")
+	els := b.newBlock("if.else")
+	done := b.newBlock("if.done")
+	b.cond(x.Cond, then, els)
+
+	b.current = then
+	b.stmt(x.Body)
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, done)
+	}
+
+	b.current = els
+	if x.Else != nil {
+		b.stmt(x.Else)
+	}
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, done)
+	}
+	b.current = done
+}
+
+func (b *builder) forStmt(x *ast.ForStmt, lb *labelBlocks) {
+	if x.Init != nil {
+		b.stmt(x.Init)
+	}
+	head := b.startBlock("for.head")
+	body := b.newBlock("for.body")
+	post := b.newBlock("for.post")
+	done := b.newBlock("for.done")
+	if lb != nil {
+		lb.brk, lb.cont, lb.target = done, post, head
+	}
+
+	b.current = head
+	if x.Cond != nil {
+		b.cond(x.Cond, body, done)
+	} else if b.current != nil {
+		b.current.Succs = append(b.current.Succs, body)
+	}
+
+	b.breaks = append(b.breaks, done)
+	b.continues = append(b.continues, post)
+	b.current = body
+	b.stmt(x.Body)
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, post)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.current = post
+	if x.Post != nil {
+		b.stmt(x.Post)
+	}
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, head)
+	}
+	b.current = done
+}
+
+func (b *builder) rangeStmt(x *ast.RangeStmt, lb *labelBlocks) {
+	// The ranged expression is evaluated before the loop; the head block
+	// re-executes the key/value binding on every iteration. The body is
+	// NOT part of the head node — it gets its own blocks — so the head
+	// carries the expression plus a RangeBinding marker.
+	b.add(x.X)
+	head := b.startBlock("range.head")
+	head.Nodes = append(head.Nodes, RangeBinding{x})
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	head.Succs = append(head.Succs, body, done)
+	if lb != nil {
+		lb.brk, lb.cont, lb.target = done, head, head
+	}
+
+	b.breaks = append(b.breaks, done)
+	b.continues = append(b.continues, head)
+	b.current = body
+	b.stmt(x.Body)
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, head)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.current = done
+}
+
+func (b *builder) switchStmt(x *ast.SwitchStmt, lb *labelBlocks) {
+	if x.Init != nil {
+		b.stmt(x.Init)
+	}
+	if x.Tag != nil {
+		b.add(x.Tag)
+	}
+	head := b.current
+	done := b.newBlock("switch.done")
+	if lb != nil {
+		lb.brk = done
+		lb.target = done
+	}
+	b.breaks = append(b.breaks, done)
+
+	// Build one block per clause; the head branches to every clause
+	// (case-expression evaluation order is irrelevant at this
+	// granularity). Fallthrough wires a body into the next clause's.
+	var bodies []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock("switch.case")
+		if head != nil {
+			head.Succs = append(head.Succs, blk)
+		}
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bodies = append(bodies, blk)
+	}
+	if !hasDefault && head != nil {
+		head.Succs = append(head.Succs, done)
+	}
+	for i, cc := range clauses {
+		b.current = bodies[i]
+		fallsThrough := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(s)
+		}
+		if b.current != nil {
+			if fallsThrough && i+1 < len(bodies) {
+				b.current.Succs = append(b.current.Succs, bodies[i+1])
+			} else {
+				b.current.Succs = append(b.current.Succs, done)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.current = done
+}
+
+func (b *builder) typeSwitchStmt(x *ast.TypeSwitchStmt, lb *labelBlocks) {
+	if x.Init != nil {
+		b.stmt(x.Init)
+	}
+	b.add(x.Assign)
+	head := b.current
+	done := b.newBlock("typeswitch.done")
+	if lb != nil {
+		lb.brk = done
+		lb.target = done
+	}
+	b.breaks = append(b.breaks, done)
+	hasDefault := false
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock("typeswitch.case")
+		if head != nil {
+			head.Succs = append(head.Succs, blk)
+		}
+		b.current = blk
+		b.stmtList(cc.Body)
+		if b.current != nil {
+			b.current.Succs = append(b.current.Succs, done)
+		}
+	}
+	if !hasDefault && head != nil {
+		head.Succs = append(head.Succs, done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.current = done
+}
+
+// selectStmt appears only in //dsmvet:allow-annotated engine files and
+// crossengine schedulers, but the CFG still models it: every comm clause
+// is one branch.
+func (b *builder) selectStmt(x *ast.SelectStmt, lb *labelBlocks) {
+	head := b.current
+	done := b.newBlock("select.done")
+	if lb != nil {
+		lb.brk = done
+		lb.target = done
+	}
+	b.breaks = append(b.breaks, done)
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		if head != nil {
+			head.Succs = append(head.Succs, blk)
+		}
+		b.current = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.current != nil {
+			b.current.Succs = append(b.current.Succs, done)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.current = done
+}

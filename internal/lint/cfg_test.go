@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its CFG.
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// kinds returns each block's Kind, in construction order, for blocks
+// reachable from the entry.
+func reachableKinds(g *CFG) []string {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	var out []string
+	for _, b := range g.Blocks {
+		if seen[b] {
+			out = append(out, b.Kind)
+		}
+	}
+	return out
+}
+
+// reaches reports whether dst is reachable from src along Succs edges.
+func reaches(src, dst *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == dst {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(src)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFromSrc(t, "x := 1\n_ = x")
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("entry does not reach exit")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry should carry both statements, has %d nodes", len(g.Entry.Nodes))
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	g := buildFromSrc(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	ks := strings.Join(reachableKinds(g), " ")
+	for _, want := range []string{"if.then", "if.else", "if.done"} {
+		if !strings.Contains(ks, want) {
+			t.Errorf("missing %s block; reachable kinds: %s", want, ks)
+		}
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("entry does not reach exit")
+	}
+}
+
+// TestCFGShortCircuit pins the && decomposition: the right operand gets
+// its own cond.and block, with edges reflecting that it only runs when
+// the left operand was true.
+func TestCFGShortCircuit(t *testing.T) {
+	g := buildFromSrc(t, "x := 1\nif x > 0 && x < 10 {\n x = 2\n}\n_ = x")
+	ks := strings.Join(reachableKinds(g), " ")
+	if !strings.Contains(ks, "cond.and") {
+		t.Errorf("missing cond.and block for the short-circuit operand; kinds: %s", ks)
+	}
+}
+
+// TestCFGLoopBackEdge pins the for-loop shape: body → post → head forms
+// the back edge, and the done block leads on to the exit.
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := buildFromSrc(t, "s := 0\nfor i := 0; i < 4; i++ {\n s += i\n}\n_ = s")
+	var head, post *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.post":
+			post = b
+		}
+	}
+	if head == nil || post == nil {
+		t.Fatal("loop blocks missing")
+	}
+	backEdge := false
+	for _, s := range post.Succs {
+		if s == head {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Error("post block has no back edge to the loop head")
+	}
+}
+
+// TestCFGRangeBinding pins the synthetic per-iteration binding node: the
+// range head carries a RangeBinding, never the loop body.
+func TestCFGRangeBinding(t *testing.T) {
+	g := buildFromSrc(t, "xs := []int{1}\nfor _, x := range xs {\n _ = x\n}")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no range.head block")
+	}
+	found := false
+	for _, n := range head.Nodes {
+		if _, ok := n.(RangeBinding); ok {
+			found = true
+		}
+		if _, ok := n.(*ast.RangeStmt); ok {
+			t.Error("range head must not carry the whole RangeStmt (the body belongs to other blocks)")
+		}
+	}
+	if !found {
+		t.Error("range head carries no RangeBinding node")
+	}
+}
+
+// TestCFGPanicTerminates pins that a panicking block has no successors,
+// so facts on the panic path never reach the exit.
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildFromSrc(t, "x := 1\nif x > 0 {\n panic(\"boom\")\n}\n_ = x")
+	var panicked *Block
+	for _, b := range g.Blocks {
+		if b.Panics {
+			panicked = b
+		}
+	}
+	if panicked == nil {
+		t.Fatal("no block marked Panics")
+	}
+	if len(panicked.Succs) != 0 {
+		t.Errorf("panicking block has %d successors, want 0", len(panicked.Succs))
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("the non-panicking path should still reach the exit")
+	}
+}
+
+// TestCFGDeferChain pins the exit chain: deferred calls replay in reverse
+// declaration order in a block between every normal exit and Exit.
+func TestCFGDeferChain(t *testing.T) {
+	g := buildFromSrc(t, "defer first()\ndefer second()\nx := 1\n_ = x")
+	var chain *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "defers" {
+			chain = b
+		}
+	}
+	if chain == nil {
+		t.Fatal("no defers block")
+	}
+	var names []string
+	for _, n := range chain.Nodes {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			t.Fatalf("defer chain carries non-call node %T", n)
+		}
+		names = append(names, call.Fun.(*ast.Ident).Name)
+	}
+	if strings.Join(names, ",") != "second,first" {
+		t.Errorf("defer chain order = %v, want [second first] (LIFO)", names)
+	}
+	if len(chain.Succs) != 1 || chain.Succs[0] != g.Exit {
+		t.Error("defer chain must lead straight to the exit")
+	}
+}
+
+// TestCFGGoto pins backward goto: the jump lands on the label's block,
+// forming a cycle.
+func TestCFGGoto(t *testing.T) {
+	g := buildFromSrc(t, "x := 0\nagain:\nx++\nif x < 3 {\n goto again\n}")
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.again" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatal("no label block")
+	}
+	if !reaches(label, label) {
+		t.Error("goto does not form a cycle back to the label")
+	}
+}
+
+// TestCFGLabeledBreak pins that a labeled break jumps past the outer
+// loop, not just the inner one.
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFromSrc(t, `x := 0
+outer:
+	for {
+		for {
+			x++
+			break outer
+		}
+	}
+	_ = x`)
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("break outer path does not reach the function exit")
+	}
+	// The inner loop has no normal exit, so the only route to Exit is the
+	// labeled break: find the outer done block and check it's on a path.
+	var outerDone *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.done" && reaches(b, g.Exit) && reaches(g.Entry, b) {
+			outerDone = b
+		}
+	}
+	if outerDone == nil {
+		t.Error("no reachable for.done block on the break-outer path")
+	}
+}
+
+// TestCFGSwitchFallthrough pins that fallthrough wires one clause body
+// into the next clause's body, not to done.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFromSrc(t, `x := 1
+switch x {
+case 1:
+	x = 2
+	fallthrough
+case 2:
+	x = 3
+}
+_ = x`)
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks, got %d", len(cases))
+	}
+	linked := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Error("fallthrough does not wire case 1 into case 2")
+	}
+}
+
+// TestCFGReturnSkipsRest pins that statements after a return are dead:
+// the return's block is wired to the exit and the dead code joins nothing.
+func TestCFGReturnSkipsRest(t *testing.T) {
+	g := buildFromSrc(t, "x := 1\nif x > 0 {\n return\n}\nx = 2\n_ = x")
+	// Both the return path and the fallthrough path must reach the exit.
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("entry does not reach exit")
+	}
+	n := 0
+	for _, b := range g.Blocks {
+		if reaches(g.Entry, b) && b != g.Exit {
+			for _, s := range b.Succs {
+				if s == g.Exit {
+					n++
+				}
+			}
+		}
+	}
+	if n < 2 {
+		t.Errorf("want at least 2 distinct edges into the exit (return + fall-off), got %d", n)
+	}
+}

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"aecdsm/internal/lint/analysis"
+)
+
+// Chargeflow is the flow-sensitive companion to chargecat: it propagates
+// stats.Category constants through local variables and across intra-
+// package helper calls (via the chargesParam summaries) so a charge site
+// resolves to exactly one category along every path. Chargecat checks the
+// literal at the call; chargeflow checks what actually flows there:
+//
+//   - a charge whose category variable may hold two different constants
+//     depending on the path taken is ambiguous accounting — the paper's
+//     Figure 4-6 breakdown needs each cycle attributed to one category;
+//   - a variable that mixes a constant on one path with a caller-supplied
+//     parameter on another hides the constant from both audits;
+//   - a disallowed constant (Recovery leaking into a protocol layer's
+//     Data/Synch accounting, say) is flagged even when it reaches the
+//     charge through assignments and helpers rather than as a literal.
+//
+// Anything the analysis cannot resolve (cross-package values, fields,
+// computed categories) stays silent: chargeflow only reports what it can
+// prove from the constants it watched enter the flow.
+var Chargeflow = &analysis.Analyzer{
+	Name: "chargeflow",
+	Doc: "every cycle-charging call site must resolve to exactly one " +
+		"stats.Category along all paths, and flowed constants obey the " +
+		"layer's allowed-category contract",
+	Run: runChargeflow,
+}
+
+func runChargeflow(pass *analysis.Pass) (any, error) {
+	if !inRepoScope(pass.Pkg.Path(), chargecatScope...) {
+		return nil, nil
+	}
+	allowed, ok := allowedCats[basePkgName(pass.Pkg.Path())]
+	if !ok {
+		allowed = []string{"Data", "Synch"} // fixtures: strictest protocol contract
+	}
+	allowedSet := make(map[string]bool, len(allowed))
+	for _, c := range allowed {
+		allowedSet[c] = true
+	}
+	sums := summarize(pass)
+	for _, file := range pass.Files {
+		eachBody(file, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkChargeflowBody(pass, sums, allowedSet, allowed, decl, body)
+		})
+	}
+	return nil, nil
+}
+
+// catVal is the abstract value of one Category-typed variable.
+type catVal struct {
+	kind catKind
+	// consts holds the constant names that may reach the variable, sorted
+	// (len 1 for catConst, >1 for catMulti).
+	consts []string
+	// mixed marks that a caller parameter joins the constants.
+	mixed bool
+}
+
+type catKind int
+
+const (
+	catUnknown catKind = iota // not a watched value: stay silent
+	catParam                  // the caller's choice, symbolically clean
+	catConst                  // exactly one constant on every path
+	catMulti                  // two or more distinct constants may arrive
+)
+
+func (v catVal) eq(w catVal) bool {
+	if v.kind != w.kind || v.mixed != w.mixed || len(v.consts) != len(w.consts) {
+		return false
+	}
+	for i := range v.consts {
+		if v.consts[i] != w.consts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinCat merges the values of two converging paths.
+func joinCat(a, b catVal) catVal {
+	if a.eq(b) {
+		return a
+	}
+	if a.kind == catUnknown || b.kind == catUnknown {
+		return catVal{kind: catUnknown}
+	}
+	// Merge the constant sets; remember if a parameter is in the mix.
+	set := make(map[string]bool)
+	for _, c := range a.consts {
+		set[c] = true
+	}
+	for _, c := range b.consts {
+		set[c] = true
+	}
+	out := catVal{mixed: a.mixed || b.mixed || a.kind == catParam || b.kind == catParam}
+	for c := range set {
+		out.consts = append(out.consts, c)
+	}
+	sort.Strings(out.consts)
+	switch {
+	case len(out.consts) == 0:
+		out.kind = catParam
+	case len(out.consts) == 1:
+		out.kind = catConst
+	default:
+		out.kind = catMulti
+	}
+	return out
+}
+
+// cfFact maps Category-typed objects to their abstract value.
+type cfFact map[types.Object]catVal
+
+type cfLattice struct {
+	pass *analysis.Pass
+	sums *pkgFacts
+	fn   *types.Func // enclosing declared function, nil for literals
+	// report, when set, fires at charge sites during the sweep.
+	report func(pos token.Pos, arg ast.Expr, v catVal)
+}
+
+func (l *cfLattice) Entry() Fact {
+	f := cfFact{}
+	if l.fn != nil {
+		sig, ok := l.fn.Type().(*types.Signature)
+		if ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if isCatObj(p) {
+					f[p] = catVal{kind: catParam}
+				}
+			}
+		}
+	}
+	return f
+}
+
+func (l *cfLattice) Clone(f Fact) Fact {
+	out := make(cfFact)
+	for k, v := range f.(cfFact) {
+		out[k] = v
+	}
+	return out
+}
+
+func (l *cfLattice) Join(a, b Fact) Fact {
+	fa, fb := a.(cfFact), b.(cfFact)
+	out := make(cfFact)
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok {
+			out[k] = joinCat(va, vb)
+		} else {
+			out[k] = va
+		}
+	}
+	for k, vb := range fb {
+		if _, ok := fa[k]; !ok {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+func (l *cfLattice) Equal(a, b Fact) bool {
+	fa, fb := a.(cfFact), b.(cfFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, va := range fa {
+		vb, ok := fb[k]
+		if !ok || !va.eq(vb) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *cfLattice) Transfer(n ast.Node, f Fact) Fact {
+	fact := f.(cfFact)
+	if _, ok := n.(RangeBinding); ok {
+		return fact
+	}
+	// Charge sites first: the fact BEFORE any same-node assignment is
+	// what flows into the call.
+	if l.report != nil {
+		for _, call := range callsIn(n) {
+			l.visitChargeSite(call, fact)
+		}
+	}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range x.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := l.pass.TypesInfo.ObjectOf(id)
+			if obj == nil || !isCatObj(obj) {
+				continue
+			}
+			fact[obj] = l.evalCat(rhsFor(x, i), fact)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := l.pass.TypesInfo.ObjectOf(name)
+					if obj == nil || !isCatObj(obj) {
+						continue
+					}
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					fact[obj] = l.evalCat(rhs, fact)
+				}
+			}
+		}
+	}
+	return fact
+}
+
+// evalCat resolves an expression to an abstract Category value.
+func (l *cfLattice) evalCat(e ast.Expr, fact cfFact) catVal {
+	if e == nil {
+		return catVal{kind: catUnknown}
+	}
+	if name, ok := catConstName(l.pass.TypesInfo, e); ok {
+		return catVal{kind: catConst, consts: []string{name}}
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := l.pass.TypesInfo.ObjectOf(id); obj != nil {
+			if v, ok := fact[obj]; ok {
+				return v
+			}
+		}
+	}
+	return catVal{kind: catUnknown}
+}
+
+// visitChargeSite fires the report hook for every Category argument of a
+// charging call — a direct primitive (Advance, Block, Add, ...) or an
+// intra-package helper whose summary says the parameter reaches one.
+func (l *cfLattice) visitChargeSite(call *ast.CallExpr, fact cfFact) {
+	callee := calleeOf(l.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	direct := categoryTakers[callee.Name()] && chargeReceiver(callee)
+	var forwards map[int]token.Pos
+	if cs := l.sums.funcs[callee]; cs != nil {
+		forwards = cs.chargesParam
+	}
+	if !direct && len(forwards) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		if !isCategoryType(l.pass.TypesInfo, arg) {
+			continue
+		}
+		if !direct {
+			if _, fwd := forwards[i]; !fwd {
+				continue
+			}
+		}
+		if _, literal := catConstName(l.pass.TypesInfo, arg); literal && direct {
+			continue // a literal at a primitive site is chargecat's jurisdiction
+		}
+		l.report(arg.Pos(), arg, l.evalCat(arg, fact))
+	}
+}
+
+// catConstName resolves e to a stats.Category constant name.
+func catConstName(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.Ident:
+		id = x
+	default:
+		return "", false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || !pkgIs(c.Pkg(), "stats") {
+		return "", false
+	}
+	n, ok := c.Type().(*types.Named)
+	if !ok || n.Obj().Name() != "Category" {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// isCatObj reports whether the object has type stats.Category.
+func isCatObj(obj types.Object) bool {
+	n, ok := obj.Type().(*types.Named)
+	return ok && n.Obj().Name() == "Category" && pkgIs(n.Obj().Pkg(), "stats")
+}
+
+func checkChargeflowBody(pass *analysis.Pass, sums *pkgFacts, allowedSet map[string]bool, allowed []string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	var fn *types.Func
+	if decl != nil {
+		fn, _ = pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	}
+	g := BuildCFG(body)
+	lat := &cfLattice{pass: pass, sums: sums, fn: fn}
+	in := Solve(g, lat)
+
+	seen := make(map[token.Pos]bool)
+	lat.report = func(pos token.Pos, arg ast.Expr, v catVal) {
+		if seen[pos] {
+			return
+		}
+		switch {
+		case v.mixed && len(v.consts) >= 1:
+			seen[pos] = true
+			pass.Reportf(pos, "category argument %s mixes path-dependent constants (stats.%s) with a caller-supplied parameter: the charge site cannot resolve to one category, so split the call per path",
+				types.ExprString(arg), strings.Join(v.consts, ", stats."))
+		case v.kind == catMulti:
+			seen[pos] = true
+			pass.Reportf(pos, "category argument %s may be stats.%s depending on the path taken: a charge site must resolve to exactly one category for the breakdown to attribute its cycles, so split the call per path",
+				types.ExprString(arg), strings.Join(v.consts, " or stats."))
+		case v.kind == catConst && !allowedSet[v.consts[0]]:
+			seen[pos] = true
+			pass.Reportf(pos, "stats.%s flows into this charge through %s but is not a category this layer may charge (allowed: %s): the flowed constant corrupts the breakdown exactly like a literal would",
+				v.consts[0], types.ExprString(arg), allowedList(allowed))
+		}
+	}
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue
+		}
+		f = lat.Clone(f)
+		for _, n := range blk.Nodes {
+			f = lat.Transfer(n, f)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+// The forward worklist solver shared by the dataflow analyzers
+// (blockingcharge v2, lockdiscipline, chargeflow). A Lattice packages
+// one analysis' facts: the entry fact, the per-node transfer function,
+// and join/equality over facts. Solve iterates transfer over the CFG to
+// a fixed point and returns each block's IN fact; an analysis then makes
+// one reporting sweep, replaying its transfer over every reachable
+// block from that block's IN fact and emitting diagnostics at the nodes
+// where the fact proves a violation.
+
+import "go/ast"
+
+// Fact is one analysis' abstract state at a program point.
+type Fact any
+
+// Lattice describes a forward dataflow problem over a CFG.
+type Lattice interface {
+	// Entry is the fact holding at function entry.
+	Entry() Fact
+	// Transfer applies one node's effect. It receives a private clone
+	// and may mutate it in place.
+	Transfer(n ast.Node, f Fact) Fact
+	// Join merges the facts of two converging paths (may- or
+	// must-semantics is the lattice's choice). Neither argument may be
+	// mutated.
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts are identical (fixed-point test).
+	Equal(a, b Fact) bool
+	// Clone deep-copies a fact.
+	Clone(f Fact) Fact
+}
+
+// Solve runs the worklist algorithm and returns the IN fact of every
+// reachable block. Unreachable blocks are absent from the map.
+func Solve(g *CFG, l Lattice) map[*Block]Fact {
+	in := make(map[*Block]Fact, len(g.Blocks))
+	in[g.Entry] = l.Entry()
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for steps := 0; len(work) > 0; steps++ {
+		if steps > 1000*len(g.Blocks) {
+			// Defensive bound: a non-monotone transfer could loop; no
+			// dsmvet lattice is, but a lint driver must never hang.
+			break
+		}
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		f := l.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			f = l.Transfer(n, f)
+		}
+		for _, s := range blk.Succs {
+			cur, ok := in[s]
+			var next Fact
+			if !ok {
+				next = l.Clone(f)
+			} else {
+				next = l.Join(cur, f)
+				if l.Equal(next, cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// eachBody invokes fn for every function body in the file: declarations
+// and function literals alike, each of which gets its own CFG.
+func eachBody(file *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				fn(x, x.Body)
+			}
+		case *ast.FuncLit:
+			fn(nil, x.Body)
+		}
+		return true
+	})
+}
+
+// callsIn collects the call expressions evaluated by node n itself, in
+// source order: it does not descend into nested function literals (they
+// run at another time) and skips the call operand of a defer statement
+// (the registration evaluates only the arguments; the CFG replays the
+// call on the exit chain).
+func callsIn(n ast.Node) []*ast.CallExpr {
+	if _, ok := n.(RangeBinding); ok {
+		return nil // the binding evaluates no calls; the ranged expression is its own node
+	}
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// Argument expressions are evaluated at registration time.
+			for _, a := range x.Call.Args {
+				out = append(out, callsIn(a)...)
+			}
+			return false
+		case *ast.CallExpr:
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}

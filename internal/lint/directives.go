@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"aecdsm/internal/lint/analysis"
+	"aecdsm/internal/lint/loader"
+)
+
+// AuditDirectives is the `dsmvet -unused-directives` entry point: it runs
+// the full suite so every //dsmvet:allow directive's Used flag settles,
+// keeps only the directive-hygiene findings (unused, unknown-analyzer or
+// reason-less allows), and adds the one audit the normal run cannot do —
+// a //dsmvet:crossengine marker on a file that no longer contains any
+// concurrency construct. A stale marker is a standing exemption waiting
+// to silently swallow a future violation, so CI fails on it nightly.
+func AuditDirectives(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, f := range findings {
+		if f.Analyzer == "allow" {
+			out = append(out, f)
+		}
+	}
+	for _, file := range pkg.Syntax {
+		pos, _, ok := crossengineMarker(file)
+		if !ok {
+			continue
+		}
+		if usesConcurrency(file) {
+			continue
+		}
+		p := pkg.Fset.Position(pos)
+		out = append(out, Finding{
+			Analyzer: "allow",
+			Pos:      p,
+			Message: "stale //dsmvet:crossengine directive: the file no longer contains any " +
+				"concurrency construct, so drop the marker and let the singlethread bans re-apply",
+		})
+	}
+	return out, nil
+}
+
+// usesConcurrency reports whether the file contains any construct the
+// singlethread analyzer would ban without the crossengine exemption: go
+// statements, channel operations or types, select, or the sync /
+// sync/atomic packages.
+func usesConcurrency(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "sync" || path == "sync/atomic" {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.SendStmt, *ast.SelectStmt, *ast.ChanType:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

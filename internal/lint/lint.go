@@ -24,6 +24,8 @@ func Analyzers() []*analysis.Analyzer {
 		Singlethread,
 		Determinism,
 		Blockingcharge,
+		Lockdiscipline,
+		Chargeflow,
 		Tracedisc,
 		Chargecat,
 	}
@@ -34,6 +36,16 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Path is the witness path a dataflow analyzer attached (load →
+	// blocking charge → publish, say), in execution order. Empty for
+	// syntactic findings.
+	Path []PathStep
+}
+
+// PathStep is one resolved point on a finding's witness path.
+type PathStep struct {
+	Pos  token.Position
+	What string
 }
 
 func (f Finding) String() string {
@@ -83,7 +95,11 @@ func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 				continue
 			}
 			seen[key] = true
-			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+			for _, s := range d.Steps {
+				f.Path = append(f.Path, PathStep{Pos: pkg.Fset.Position(s.Pos), What: s.What})
+			}
+			out = append(out, f)
 		}
 	}
 

@@ -1,0 +1,130 @@
+package loader
+
+// The go-list cache. The dominant wall-clock cost of a dsmvet run is not
+// parsing or type-checking — it is the `go list -e -export -deps -json`
+// subprocess, which walks the module, compiles every dependency's export
+// data into the build cache and prints several megabytes of JSON. That
+// output is a pure function of the toolchain, the module files and the
+// source tree, so it is cached on disk keyed by a hash of exactly those
+// inputs: go.mod/go.sum content, the patterns, and the path/size/mtime of
+// every .go file under the load directory. Any edit to any source file
+// changes the key and misses; a hit replays the JSON after validating
+// that every export-data file it references still exists in the build
+// cache (a `go clean -cache` invalidates hits without stale results).
+// Measured timings live in docs/LINTING.md.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheDisabled turns every lookup into a miss (dsmvet -nocache).
+var cacheDisabled bool
+
+// DisableCache bypasses the go-list cache for this process: every load
+// shells out to the go command again.
+func DisableCache() { cacheDisabled = true }
+
+// cacheKey hashes everything the `go list` output depends on. A missing
+// go.mod (fixture directories) simply contributes nothing.
+func cacheKey(dir string, patterns []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "dsmvet-golist-v1\n%s\n", strings.Join(patterns, "\x00"))
+	for _, mod := range []string{"go.mod", "go.sum"} {
+		b, err := os.ReadFile(filepath.Join(dir, mod))
+		if err == nil {
+			h.Write(b)
+		}
+		h.Write([]byte{0})
+	}
+	// Source files: path, size and mtime of every .go file below dir, in
+	// sorted order so the walk order cannot perturb the key.
+	var lines []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		lines = append(lines, fmt.Sprintf("%s\x00%d\x00%d", path, info.Size(), info.ModTime().UnixNano()))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(h, l)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cachePath places entries in the user cache dir (falling back to the
+// temp dir), namespaced by key.
+func cachePath(key string) string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "dsmvet", "golist-"+key+".json")
+}
+
+// lookupListCache returns the cached go-list output for the key, or nil
+// on any miss: absent entry, unreadable file, or export data that has
+// been cleaned out of the build cache since the entry was written.
+func lookupListCache(key string) []byte {
+	if cacheDisabled {
+		return nil
+	}
+	out, err := os.ReadFile(cachePath(key))
+	if err != nil {
+		return nil
+	}
+	pkgs, err := decodeList(out)
+	if err != nil {
+		return nil
+	}
+	for _, p := range pkgs {
+		if p.Export == "" {
+			continue
+		}
+		if _, err := os.Stat(p.Export); err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// storeListCache writes the go-list output for the key; failures are
+// ignored (the cache is an optimization, never a correctness dependency).
+func storeListCache(key string, out []byte) {
+	if cacheDisabled {
+		return
+	}
+	path := cachePath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

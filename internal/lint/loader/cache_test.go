@@ -1,0 +1,128 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeTree lays out a throwaway module so the key computation has real
+// files to stat.
+func writeTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module cachetest\n\ngo 1.22\n",
+		"a/a.go":  "package a\n",
+		"b/b.go":  "package b\n",
+		"b/c.txt": "not a go file\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCacheKeyStable(t *testing.T) {
+	dir := writeTree(t)
+	k1, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("key not stable over an unchanged tree: %s vs %s", k1, k2)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	dir := writeTree(t)
+	base, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different patterns → different key.
+	if k, _ := cacheKey(dir, []string{"./a"}); k == base {
+		t.Error("key ignores the load patterns")
+	}
+
+	// Touching a source file (content + mtime) → different key.
+	af := filepath.Join(dir, "a", "a.go")
+	if err := os.WriteFile(af, []byte("package a\n\nvar X = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force a distinct mtime even on coarse-grained filesystems.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(af, future, future); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited == base {
+		t.Error("key ignores source file edits")
+	}
+
+	// Editing go.mod → different key.
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module cachetest\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	modEdited, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modEdited == edited {
+		t.Error("key ignores go.mod edits")
+	}
+
+	// Non-Go files do not contribute.
+	if err := os.WriteFile(filepath.Join(dir, "b", "c.txt"), []byte("changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	txtEdited, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txtEdited != modEdited {
+		t.Error("key depends on non-Go files")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	// Redirect the cache into the test's temp dir.
+	t.Setenv("XDG_CACHE_HOME", t.TempDir())
+
+	key := "roundtrip-test-key"
+	payload := []byte(`{"ImportPath": "x", "Name": "x", "GoFiles": ["x.go"]}`)
+	storeListCache(key, payload)
+	got := lookupListCache(key)
+	if string(got) != string(payload) {
+		t.Fatalf("round trip: got %q, want %q", got, payload)
+	}
+
+	// An entry referencing vanished export data is a miss.
+	stale := []byte(`{"ImportPath": "y", "Export": "/nonexistent/export/data/y.a"}`)
+	storeListCache("stale-key", stale)
+	if lookupListCache("stale-key") != nil {
+		t.Error("entry with missing export data should miss")
+	}
+
+	// DisableCache turns lookups into misses.
+	cacheDisabled = true
+	defer func() { cacheDisabled = false }()
+	if lookupListCache(key) != nil {
+		t.Error("DisableCache did not bypass the cache")
+	}
+}

@@ -46,9 +46,18 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
-// GoList runs `go list -e -export -deps -json` for the patterns in dir and
-// returns the decoded package records in listing order.
+// GoList returns the `go list -e -export -deps -json` package records for
+// the patterns in dir, in listing order. The subprocess output is cached
+// on disk (see cache.go) keyed on the module files and source tree, so
+// repeated dsmvet runs over an unchanged tree skip the go command
+// entirely; DisableCache (dsmvet -nocache) forces the subprocess.
 func GoList(dir string, patterns ...string) ([]listPkg, error) {
+	key, keyErr := cacheKey(dir, patterns)
+	if keyErr == nil {
+		if out := lookupListCache(key); out != nil {
+			return decodeList(out)
+		}
+	}
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -58,6 +67,18 @@ func GoList(dir string, patterns ...string) ([]listPkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
 	}
+	pkgs, err := decodeList(out)
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+	if keyErr == nil {
+		storeListCache(key, out)
+	}
+	return pkgs, nil
+}
+
+// decodeList parses the JSON stream `go list -json` emits.
+func decodeList(out []byte) ([]listPkg, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var pkgs []listPkg
 	for {
@@ -65,7 +86,7 @@ func GoList(dir string, patterns ...string) ([]listPkg, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+			return nil, fmt.Errorf("decoding go list output: %v", err)
 		}
 		pkgs = append(pkgs, p)
 	}

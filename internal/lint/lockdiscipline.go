@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aecdsm/internal/lint/analysis"
+)
+
+// Lockdiscipline enforces the two lock contracts the simulator's
+// correctness rests on:
+//
+//  1. Critical-section balance in the applications: every path from a
+//     proto.Ctx.Acquire to a function exit must pass a matching Release
+//     of the same lock expression. The must-analysis over the CFG means
+//     a conditional acquire with a matching conditional release stays
+//     silent, while an early return inside the critical section — the
+//     shape that wedges a lock's waiting queue for the whole run — is
+//     flagged at the return.
+//
+//  2. The grant-discipline Queue contract in lockpolicy: a PickNext
+//     implementation must actually dequeue the picked waiter (a policy
+//     that forgets to remove it grants the same processor twice), and
+//     any implementation that can pick a non-head waiter must consult
+//     the forced() bypass bookkeeping so the MaxBypass starvation bound
+//     stays enforced (internal/check audits the same bound at run time).
+var Lockdiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "every Acquire reaches a matching Release on all exit paths, and " +
+		"lockpolicy PickNext implementations dequeue their pick and respect " +
+		"the MaxBypass bypass bound",
+	Run: runLockdiscipline,
+}
+
+var lockdisciplineScope = []string{"apps", "lockpolicy"}
+
+func runLockdiscipline(pass *analysis.Pass) (any, error) {
+	if !inRepoScope(pass.Pkg.Path(), lockdisciplineScope...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		eachBody(file, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkLockBalance(pass, body)
+		})
+	}
+	checkQueueContract(pass)
+	return nil, nil
+}
+
+// ---- rule 1: Acquire/Release balance --------------------------------------
+
+// heldFact maps a lock expression (its source text) to the position of
+// the Acquire that opened it.
+type heldFact map[string]token.Pos
+
+// lockLattice is the must-analysis over held locks: the join keeps only
+// locks held on ALL converging paths, so conditional acquire/release
+// pairs cancel out and only genuinely unbalanced paths carry a lock to
+// an exit.
+type lockLattice struct {
+	pass *analysis.Pass
+	// report, when set, fires at each return that still holds locks.
+	report func(pos token.Pos, lock string, acquired token.Pos)
+}
+
+func (l *lockLattice) Entry() Fact { return heldFact{} }
+
+func (l *lockLattice) Clone(f Fact) Fact {
+	out := make(heldFact)
+	for k, v := range f.(heldFact) {
+		out[k] = v
+	}
+	return out
+}
+
+func (l *lockLattice) Join(a, b Fact) Fact {
+	fa, fb := a.(heldFact), b.(heldFact)
+	out := make(heldFact)
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok {
+			if vb < va {
+				va = vb
+			}
+			out[k] = va
+		}
+	}
+	return out
+}
+
+func (l *lockLattice) Equal(a, b Fact) bool {
+	fa, fb := a.(heldFact), b.(heldFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, va := range fa {
+		if vb, ok := fb[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lockLattice) Transfer(n ast.Node, f Fact) Fact {
+	h := f.(heldFact)
+	if _, ok := n.(RangeBinding); ok {
+		return h
+	}
+	for _, call := range callsIn(n) {
+		callee := calleeOf(l.pass.TypesInfo, call)
+		if callee == nil || len(call.Args) < 1 {
+			continue
+		}
+		if !ctxLockMethod(callee) {
+			continue
+		}
+		key := types.ExprString(call.Args[0])
+		switch callee.Name() {
+		case "Acquire":
+			h[key] = call.Pos()
+		case "Release":
+			delete(h, key)
+		}
+	}
+	if ret, ok := n.(*ast.ReturnStmt); ok && l.report != nil {
+		for lock, acq := range h {
+			l.report(ret.Pos(), lock, acq)
+		}
+	}
+	return h
+}
+
+// ctxLockMethod reports whether fn is proto.Ctx.Acquire or Release.
+func ctxLockMethod(fn *types.Func) bool {
+	if fn.Name() != "Acquire" && fn.Name() != "Release" {
+		return false
+	}
+	rn := recvNamed(fn)
+	return rn != nil && rn.Obj().Name() == "Ctx" && pkgIs(rn.Obj().Pkg(), "proto")
+}
+
+func checkLockBalance(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	lat := &lockLattice{pass: pass}
+	in := Solve(g, lat)
+
+	// Report sweep: replay the transfer with the report hook armed so
+	// each return is judged against the held-set on its own path.
+	seen := make(map[string]bool)
+	lat.report = func(pos token.Pos, lock string, acquired token.Pos) {
+		p := pass.Fset.Position(pos)
+		key := lock + "@" + p.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		pass.Report(analysis.Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("return while lock %s is still held (acquired at line %d): "+
+				"every path from Acquire must Release, or the lock's waiting queue wedges for the rest of the run",
+				lock, pass.Fset.Position(acquired).Line),
+			Steps: []analysis.Step{
+				{Pos: acquired, What: "Acquire(" + lock + ")"},
+				{Pos: pos, What: "return with lock held"},
+			},
+		})
+	}
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		f = lat.Clone(f)
+		for _, n := range blk.Nodes {
+			f = lat.Transfer(n, f)
+		}
+		// Falling off the end of the body is an exit too: a block wired
+		// straight to the function exit (not via a return statement).
+		if fallsToExit(g, blk) {
+			for lock, acq := range f.(heldFact) {
+				lat.report(body.Rbrace, lock, acq)
+			}
+		}
+	}
+}
+
+// fallsToExit reports whether blk reaches the CFG exit (directly or
+// through the defer chain) without ending in a return statement.
+func fallsToExit(g *CFG, blk *Block) bool {
+	if len(blk.Nodes) > 0 {
+		if _, isRet := blk.Nodes[len(blk.Nodes)-1].(*ast.ReturnStmt); isRet {
+			return false
+		}
+	}
+	for _, s := range blk.Succs {
+		if s == g.Exit {
+			return true
+		}
+		if s.Kind == "defers" {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- rule 2: the lockpolicy Queue contract --------------------------------
+
+// checkQueueContract audits every method named PickNext in the package:
+// it must dequeue its pick, and bypassing the head requires consulting
+// the forced() bound.
+func checkQueueContract(pass *analysis.Pass) {
+	// Collect the package's function bodies by *types.Func so PickNext's
+	// intra-package helpers (choose, take) can be chased.
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range bodies {
+		if fn.Name() != "PickNext" || recvNamed(fn) == nil {
+			continue
+		}
+		var (
+			dequeues     bool // removes the pick: take(...), slice reassign, or delegation
+			nonHeadPick  bool // can select an arrival index other than 0
+			consultsForc bool // reads the forced() bypass bookkeeping
+		)
+		// Chase PickNext plus every intra-package callee (choose, take,
+		// an embedded implementation's PickNext, ...), one level deep per
+		// step to a fixed point.
+		reach := map[*types.Func]bool{fn: true}
+		work := []*types.Func{fn}
+		for len(work) > 0 {
+			cur := work[0]
+			work = work[1:]
+			cfd := bodies[cur]
+			if cfd == nil {
+				continue
+			}
+			ast.Inspect(cfd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					callee := calleeOf(pass.TypesInfo, x)
+					if callee == nil {
+						return true
+					}
+					switch callee.Name() {
+					case "take":
+						dequeues = true
+						if len(x.Args) == 1 && !isIntLiteral(x.Args[0], "0") {
+							nonHeadPick = true
+						}
+					case "forced":
+						consultsForc = true
+					}
+					if callee.Pkg() == pass.Pkg && !reach[callee] {
+						reach[callee] = true
+						work = append(work, callee)
+					}
+				case *ast.AssignStmt:
+					// f.q = f.q[1:] style head pop: a store to a slice-
+					// typed field of the receiver counts as a dequeue.
+					for _, lhs := range x.Lhs {
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						t := pass.TypesInfo.TypeOf(sel)
+						if t == nil {
+							continue
+						}
+						if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+							dequeues = true
+						}
+					}
+				case *ast.IndexExpr:
+					// Reading q[i] with a non-constant-zero index inside
+					// the pick computation marks a potential bypass.
+					t := pass.TypesInfo.TypeOf(x.X)
+					if t != nil {
+						if _, isSlice := t.Underlying().(*types.Slice); isSlice && !isIntLiteral(x.Index, "0") {
+							nonHeadPick = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		if !dequeues {
+			pass.Reportf(fd.Name.Pos(),
+				"PickNext on %s never removes the picked waiter from the queue: a grant policy that forgets to dequeue grants the same waiter twice",
+				recvNamed(fn).Obj().Name())
+		}
+		if nonHeadPick && !consultsForc {
+			pass.Reportf(fd.Name.Pos(),
+				"PickNext on %s can bypass the queue head but never consults forced(): the MaxBypass starvation bound is the policy contract (internal/check audits it at run time)",
+				recvNamed(fn).Obj().Name())
+		}
+	}
+}
+
+// isIntLiteral reports whether e is the integer literal lit.
+func isIntLiteral(e ast.Expr, lit string) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == lit
+}

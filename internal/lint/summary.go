@@ -1,0 +1,442 @@
+package lint
+
+// Per-function summaries: the interprocedural half of the dataflow tier.
+// For every function declared in the package under analysis, one
+// syntactic pass plus a call-graph fixed point computes
+//
+//   - whether the function (transitively) reaches a blocking charge,
+//     and through which call — so a package-local helper hiding an
+//     Advance or a Send stales references exactly like a direct call;
+//   - which parameters and receivers the function publishes through
+//     (writes via a selector/index chain rooted at them, directly or by
+//     forwarding to another publisher) — so passing a stale record to a
+//     helper is flagged at the call site;
+//   - whether its result is a map/slice load out of protocol state — so
+//     a lookup helper's return value is watched like an inline m[k];
+//   - which parameters flow into a charging call as the stats.Category
+//     — so chargeflow can audit category constants across calls.
+//
+// Summaries are intra-package: cross-package callees are covered by the
+// blockingPrim allowlist (the simulator's primitives), and every layer
+// is analyzed in its own pass.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aecdsm/internal/lint/analysis"
+)
+
+// funcSummary is the dataflow interface of one declared function.
+type funcSummary struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+
+	// blocking: the function reaches a call that advances virtual time.
+	blocking    bool
+	blockingPos token.Pos // the first such call site in this body
+
+	// publishes maps a parameter index (receiverIndex for the receiver)
+	// to the first write through that parameter's pointed-to state.
+	publishes map[int]token.Pos
+
+	// returnsLoad is a non-empty description when the function's first
+	// result may be a map or slice load of protocol state.
+	returnsLoad string
+
+	// chargesParam maps a parameter index to the charge call where that
+	// parameter is passed as the stats.Category.
+	chargesParam map[int]token.Pos
+}
+
+// receiverIndex keys a method receiver in funcSummary.publishes.
+const receiverIndex = -1
+
+// paramIndex resolves obj to its index in fn's parameter list
+// (receiverIndex for the receiver), or false.
+func paramIndex(fn *types.Func, obj types.Object) (int, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	if r := sig.Recv(); r != nil && obj == r {
+		return receiverIndex, true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// pkgFacts is everything the dataflow analyzers learn about a package:
+// the per-function summaries plus whole-package structural facts.
+type pkgFacts struct {
+	funcs map[*types.Func]*funcSummary
+
+	// mutableSlices holds the base objects (struct fields or variables)
+	// of slices whose ELEMENTS are reassigned outside constructor-like
+	// functions. Only loads out of these slices are watched for
+	// staleness: a slice like the per-processor state table is filled
+	// once in New and its element pointers are stable across charges,
+	// so writes through them are not the stale-reference shape.
+	mutableSlices map[types.Object]bool
+}
+
+// summarize computes the package's function summaries to a fixed point.
+func summarize(pass *analysis.Pass) *pkgFacts {
+	pf := &pkgFacts{
+		funcs:         make(map[*types.Func]*funcSummary),
+		mutableSlices: make(map[types.Object]bool),
+	}
+	var order []*funcSummary
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &funcSummary{
+				fn:           fn,
+				decl:         fd,
+				publishes:    make(map[int]token.Pos),
+				chargesParam: make(map[int]token.Pos),
+			}
+			pf.funcs[fn] = s
+			order = append(order, s)
+			if !constructorLike(fd.Name.Name) {
+				scanSliceMutations(pass, fd.Body, pf.mutableSlices)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range order {
+			if scanSummary(pass, pf.funcs, s) {
+				changed = true
+			}
+		}
+	}
+	return pf
+}
+
+// constructorLike reports whether a function by this name runs at
+// machine-construction time rather than during simulation (so its slice
+// element stores are initialization, not mid-run replacement).
+func constructorLike(name string) bool {
+	return name == "init" ||
+		(len(name) >= 3 && name[:3] == "new" || len(name) >= 3 && name[:3] == "New")
+}
+
+// scanSliceMutations records the base objects of slice-element stores
+// (x[i] = v, with x a slice) in a non-constructor function. A function
+// that assigns the WHOLE slice (pr.ps = make(...)) and then fills its
+// elements is initializing a fresh table — the Attach wiring hooks do
+// exactly this — so element stores to a locally-allocated base are not
+// counted as mid-run replacement.
+func scanSliceMutations(pass *analysis.Pass, body *ast.BlockStmt, out map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	allocated := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			l := ast.Unparen(lhs)
+			if _, isIdx := l.(*ast.IndexExpr); isIdx {
+				continue
+			}
+			t := info.TypeOf(l)
+			if t == nil {
+				continue
+			}
+			if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if obj := sliceBaseObj(info, l); obj != nil {
+				allocated[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			t := info.TypeOf(idx.X)
+			if t == nil {
+				continue
+			}
+			if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if obj := sliceBaseObj(info, idx.X); obj != nil && !allocated[obj] {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// sliceBaseObj resolves the identity of a slice expression: the struct
+// field for pr.ps, the variable for a plain ident.
+func sliceBaseObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	}
+	return nil
+}
+
+// scanSummary re-derives one function's summary against the current
+// state of its callees', reporting whether anything grew.
+func scanSummary(pass *analysis.Pass, sums map[*types.Func]*funcSummary, s *funcSummary) bool {
+	changed := false
+	info := pass.TypesInfo
+
+	// loadVars: locals assigned a map/slice load (or a loader helper's
+	// result), for resolving `return v` to a load. Flow-insensitive:
+	// summaries over-approximate; the flow-sensitive caller analysis
+	// decides what is actually stale.
+	loadVars := make(map[types.Object]string)
+
+	mark := func(cond bool, do func()) {
+		if cond {
+			do()
+			changed = true
+		}
+	}
+
+	ast.Inspect(s.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate execution time; summarized never
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(info, x)
+			if callee == nil {
+				return true
+			}
+			if blockingPrim(callee) {
+				mark(!s.blocking, func() { s.blocking = true; s.blockingPos = x.Pos() })
+			} else if cs := sums[callee]; cs != nil && cs.blocking {
+				mark(!s.blocking, func() { s.blocking = true; s.blockingPos = x.Pos() })
+			}
+			// Forwarding a parameter into a callee that publishes
+			// through it publishes through our parameter too.
+			if cs := sums[callee]; cs != nil {
+				for argIdx, arg := range x.Args {
+					pubPos, pub := cs.publishes[argIdx]
+					if !pub {
+						continue
+					}
+					_ = pubPos
+					if base := baseIdent(arg); base != nil {
+						if pi, ok := paramIndex(s.fn, info.ObjectOf(base)); ok {
+							_, have := s.publishes[pi]
+							mark(!have, func() { s.publishes[pi] = x.Pos() })
+						}
+					}
+				}
+				// A method that publishes through its receiver
+				// publishes through the value it is invoked on.
+				if _, pub := cs.publishes[receiverIndex]; pub {
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						if base := baseIdent(sel.X); base != nil {
+							if pi, ok := paramIndex(s.fn, info.ObjectOf(base)); ok {
+								_, have := s.publishes[pi]
+								mark(!have, func() { s.publishes[pi] = x.Pos() })
+							}
+						}
+					}
+				}
+				// Forwarding a parameter as a callee's audited
+				// stats.Category parameter.
+				for argIdx, arg := range x.Args {
+					if _, chg := cs.chargesParam[argIdx]; !chg {
+						continue
+					}
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if pi, ok := paramIndex(s.fn, info.ObjectOf(id)); ok {
+							_, have := s.chargesParam[pi]
+							mark(!have, func() { s.chargesParam[pi] = x.Pos() })
+						}
+					}
+				}
+			}
+			// Passing a parameter directly as the Category of a
+			// charging primitive.
+			if categoryTakers[callee.Name()] && chargeReceiver(callee) {
+				for _, arg := range x.Args {
+					if !isCategoryType(info, arg) {
+						continue
+					}
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if pi, ok := paramIndex(s.fn, info.ObjectOf(id)); ok {
+							_, have := s.chargesParam[pi]
+							mark(!have, func() { s.chargesParam[pi] = x.Pos() })
+						}
+					}
+				}
+			}
+			// delete(p.f, k) publishes through p.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				if _, ok := info.Uses[id].(*types.Builtin); ok {
+					if base := baseIdent(x.Args[0]); base != nil {
+						if pi, ok := paramIndex(s.fn, info.ObjectOf(base)); ok {
+							_, have := s.publishes[pi]
+							mark(!have, func() { s.publishes[pi] = x.Pos() })
+						}
+					}
+				}
+			}
+
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					// loadVars is rebuilt on every scan (it is local
+					// bookkeeping, not part of the summary), so growing
+					// it must not count as fixed-point progress.
+					if desc := loadDesc(pass, loadVars, sums, rhsFor(x, i)); desc != "" {
+						obj := info.ObjectOf(id)
+						if obj != nil && loadVars[obj] == "" {
+							loadVars[obj] = desc
+						}
+					}
+					continue
+				}
+				// A write through a selector/index chain rooted at a
+				// parameter publishes through it.
+				if base := baseIdent(lhs); base != nil {
+					if pi, ok := paramIndex(s.fn, info.ObjectOf(base)); ok {
+						_, have := s.publishes[pi]
+						mark(!have, func() { s.publishes[pi] = lhs.Pos() })
+					}
+				}
+			}
+
+		case *ast.IncDecStmt:
+			if _, isIdent := x.X.(*ast.Ident); !isIdent {
+				if base := baseIdent(x.X); base != nil {
+					if pi, ok := paramIndex(s.fn, info.ObjectOf(base)); ok {
+						_, have := s.publishes[pi]
+						mark(!have, func() { s.publishes[pi] = x.Pos() })
+					}
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if len(x.Results) >= 1 && s.returnsLoad == "" {
+				if desc := loadDesc(pass, loadVars, sums, x.Results[0]); desc != "" {
+					s.returnsLoad = desc
+					changed = true
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// rhsFor returns the RHS expression feeding LHS i of an assignment
+// (handling the v, ok := m[k] single-RHS form), or nil.
+func rhsFor(x *ast.AssignStmt, i int) ast.Expr {
+	switch {
+	case len(x.Rhs) == len(x.Lhs):
+		return x.Rhs[i]
+	case len(x.Rhs) == 1 && i == 0:
+		return x.Rhs[0]
+	}
+	return nil
+}
+
+// loadDesc describes e as a load of a shared protocol record — a map or
+// slice index yielding a reference type, a local already holding one, or
+// a call to a package-local helper summarized as returning one — or "".
+func loadDesc(pass *analysis.Pass, loadVars map[types.Object]string, sums map[*types.Func]*funcSummary, e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		t := pass.TypesInfo.TypeOf(x.X)
+		if t == nil {
+			return ""
+		}
+		var elem types.Type
+		var kind string
+		switch u := t.Underlying().(type) {
+		case *types.Map:
+			elem, kind = u.Elem(), "map load "
+		case *types.Slice:
+			elem, kind = u.Elem(), "slice load "
+		default:
+			return ""
+		}
+		if !isRefType(elem) {
+			return ""
+		}
+		return kind + types.ExprString(x)
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(x); obj != nil {
+			return loadVars[obj]
+		}
+	case *ast.CallExpr:
+		callee := calleeOf(pass.TypesInfo, x)
+		if callee == nil {
+			return ""
+		}
+		if cs := sums[callee]; cs != nil && cs.returnsLoad != "" {
+			return cs.returnsLoad + " via " + callee.Name()
+		}
+	}
+	return ""
+}
+
+// isRefType reports whether values of t are references into shared
+// structures — the only thing worth watching for staleness.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// isCategoryType reports whether e has type stats.Category.
+func isCategoryType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Category" && pkgIs(n.Obj().Pkg(), "stats")
+}
+
+// chargeReceiver reports whether fn's receiver belongs to a layer whose
+// category-taking methods are audited (sim, stats, proto).
+func chargeReceiver(fn *types.Func) bool {
+	rn := recvNamed(fn)
+	if rn == nil {
+		return false
+	}
+	p := rn.Obj().Pkg()
+	return pkgIs(p, "sim") || pkgIs(p, "stats") || pkgIs(p, "proto")
+}

@@ -1,0 +1,75 @@
+// cfgedges exercises the CFG builder's less-traveled edges — goto,
+// labeled break, defer chains, and short-circuit conditions — through the
+// blockingcharge lattice, so each edge kind has a fixture proving the
+// facts flow where execution does.
+package blockingcharge
+
+import (
+	"mem"
+	"proto"
+	"stats"
+)
+
+// gotoBackEdge is loop-carried staleness spelled with goto: the write at
+// the label is fresh on the first pass and stale after the jump back.
+func gotoBackEdge(c *proto.Ctx, st *procState, pg int, more func() bool) {
+	rec := st.undiffed[pg]
+again:
+	rec.diffs[pg] = nil // want `write through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge at line \d+`
+	c.P.Advance(1, stats.Synch)
+	if more() {
+		goto again
+	}
+}
+
+// labeledBreakStale: the reference is reloaded inside the inner loop just
+// before the charge, and the labeled break carries exactly that
+// reloaded-then-charged state to the publication after the outer loop.
+func labeledBreakStale(c *proto.Ctx, st *procState, pg int, done func() bool) {
+	rec := st.undiffed[pg]
+outer:
+	for {
+		for {
+			rec = st.undiffed[pg]
+			c.P.Advance(1, stats.Synch)
+			if done() {
+				break outer
+			}
+		}
+	}
+	rec.diffs[pg] = nil // want `write through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge at line \d+`
+}
+
+// deferStalePublish registers the publication as a defer BEFORE the
+// charge: the deferred call runs on the exit chain, after the charge, so
+// the reference it captured is stale by the time it writes.
+func deferStalePublish(c *proto.Ctx, st *procState, pg int) {
+	rec := st.undiffed[pg]
+	d := &mem.Diff{Page: pg}
+	defer publishRec(rec, pg, d) // want `call to publishRec publishes through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge at line \d+`
+	c.P.Advance(10, stats.Synch)
+}
+
+// deferFreshOK defers the publication but never charges afterwards, so
+// the exit-chain replay still sees a fresh reference.
+func deferFreshOK(c *proto.Ctx, st *procState, pg int) {
+	c.P.Advance(10, stats.Synch)
+	rec := st.undiffed[pg]
+	d := &mem.Diff{Page: pg}
+	defer publishRec(rec, pg, d)
+}
+
+// shortCircuitCharge hides the blocking charge in the right operand of a
+// short-circuit ||: it only runs when fast is false, and the condition
+// decomposition must carry the post-charge fact into the then-branch.
+func shortCircuitCharge(c *proto.Ctx, st *procState, pg int, fast bool) {
+	rec := st.undiffed[pg]
+	if fast || chargeTrue(c) {
+		rec.diffs[pg] = nil // want `write through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge at line \d+`
+	}
+}
+
+func chargeTrue(c *proto.Ctx) bool {
+	c.P.Advance(1, stats.Synch)
+	return true
+}

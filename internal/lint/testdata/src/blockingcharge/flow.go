@@ -1,0 +1,57 @@
+// flow holds the shapes where v2's flow sensitivity beats the syntactic
+// source-order approximation in BOTH directions: staleness that only
+// exists on a loop back edge (v1 misses it — the write precedes the
+// charge in source order) and a charge that sits between load and publish
+// in source order but on no execution path (v1 false-positives, v2 is
+// silent).
+package blockingcharge
+
+import (
+	"proto"
+	"stats"
+)
+
+// loopCarriedStale writes through the record on every iteration, but from
+// the second iteration on the reference crossed the previous iteration's
+// blocking charge: stale on the back edge.
+func loopCarriedStale(c *proto.Ctx, st *procState, pg, n int) {
+	rec := st.undiffed[pg]
+	for i := 0; i < n; i++ {
+		rec.diffs[pg] = nil // want `write through rec \(map load st\.undiffed\[pg\] loaded at line \d+\) after a blocking charge at line \d+`
+		c.P.Advance(1, stats.Synch)
+	}
+}
+
+// loopReloadOK is the fixed loop: the reference is reloaded at the top of
+// every iteration, so no write ever crosses a charge.
+func loopReloadOK(c *proto.Ctx, st *procState, pg, n int) {
+	for i := 0; i < n; i++ {
+		rec := st.undiffed[pg]
+		rec.diffs[pg] = nil
+		c.P.Advance(1, stats.Synch)
+	}
+}
+
+// chargePathReturnsOK charges between the load and the publish in SOURCE
+// order, but the charging branch returns: no execution path carries the
+// reference across the charge, so v2 is silent where source-order
+// scanning would cry wolf.
+func chargePathReturnsOK(c *proto.Ctx, st *procState, pg int, flush bool) {
+	rec := st.undiffed[pg]
+	if flush {
+		c.P.Advance(10, stats.Synch)
+		return
+	}
+	rec.diffs[pg] = nil
+}
+
+// panicPathOK is the same precision case through a panicking branch: the
+// charge happens only on a path that never reaches the write.
+func panicPathOK(c *proto.Ctx, st *procState, pg int, corrupt bool) {
+	rec := st.undiffed[pg]
+	if corrupt {
+		c.P.Advance(1, stats.Synch)
+		panic("corrupt record table")
+	}
+	rec.diffs[pg] = nil
+}

@@ -1,0 +1,92 @@
+// Fixture for the chargeflow analyzer: stats.Category constants
+// propagated through locals and helpers must resolve to exactly one
+// allowed category at every charge site. The fixture package is held to
+// the strictest protocol contract (allowed: Data, Synch).
+package chargeflow
+
+import (
+	"proto"
+	"sim"
+	"stats"
+)
+
+// singleConstOK resolves to exactly one allowed constant on every path.
+func singleConstOK(p *sim.Proc, hidden bool) {
+	cat := stats.Data
+	if hidden {
+		p.Advance(1, cat)
+	} else {
+		p.Advance(2, cat)
+	}
+}
+
+// paramPassthroughOK forwards the caller's category untouched: the
+// constant is audited where it enters, not here.
+func paramPassthroughOK(p *sim.Proc, cat stats.Category) {
+	p.Advance(6, cat)
+}
+
+// ambiguousPaths lets two different constants reach one charge site: the
+// breakdown cannot attribute the cycles to one category.
+func ambiguousPaths(p *sim.Proc, overlap bool) {
+	cat := stats.Data
+	if overlap {
+		cat = stats.Synch
+	}
+	p.Advance(10, cat) // want `category argument cat may be stats\.Data or stats\.Synch depending on the path taken`
+}
+
+// mixedConstParam overwrites the caller's choice on one path only.
+func mixedConstParam(p *sim.Proc, cat stats.Category, degraded bool) {
+	if degraded {
+		cat = stats.Synch
+	}
+	p.Advance(10, cat) // want `category argument cat mixes path-dependent constants \(stats\.Synch\) with a caller-supplied parameter`
+}
+
+// recoveryLeak lets the Recovery category flow into a protocol charge
+// through a local: chargecat cannot see it (the argument is a variable),
+// chargeflow can.
+func recoveryLeak(p *sim.Proc) {
+	cat := stats.Recovery
+	p.Advance(10, cat) // want `stats\.Recovery flows into this charge through cat but is not a category this layer may charge`
+}
+
+// resolvedPerPathOK is the fixed shape of ambiguousPaths: one charge call
+// per path, each with its own constant.
+func resolvedPerPathOK(p *sim.Proc, overlap bool) {
+	if overlap {
+		p.Advance(10, stats.Synch)
+	} else {
+		p.Advance(10, stats.Data)
+	}
+}
+
+// chargeVia forwards its category parameter into a primitive: the
+// summary marks the parameter, so call sites of chargeVia are audited as
+// charge sites themselves.
+func chargeVia(c *proto.Ctx, cost uint64, cat stats.Category) {
+	c.P.Advance(cost, cat)
+}
+
+// interprocRecoveryLeak passes a disallowed literal to the forwarding
+// helper: not a categoryTaker call, so only the interprocedural summary
+// exposes it.
+func interprocRecoveryLeak(c *proto.Ctx) {
+	chargeVia(c, 10, stats.Recovery) // want `stats\.Recovery flows into this charge through stats\.Recovery but is not a category this layer may charge`
+}
+
+// interprocAmbiguous joins two constants and hands the result to the
+// forwarding helper.
+func interprocAmbiguous(c *proto.Ctx, overlap bool) {
+	cat := stats.Data
+	if overlap {
+		cat = stats.Synch
+	}
+	chargeVia(c, 10, cat) // want `category argument cat may be stats\.Data or stats\.Synch depending on the path taken`
+}
+
+// interprocAllowedOK hands an allowed constant to the helper.
+func interprocAllowedOK(c *proto.Ctx) {
+	chargeVia(c, 10, stats.Data)
+}

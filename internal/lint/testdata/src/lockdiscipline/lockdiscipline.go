@@ -1,0 +1,63 @@
+// Fixture for the lockdiscipline analyzer, rule 1: every path from a
+// proto.Ctx.Acquire must pass a matching Release before the function
+// exits. The must-analysis keeps conditional acquire/release pairs silent
+// and flags only paths that genuinely leave the lock held.
+package lockdiscipline
+
+import "proto"
+
+// balancedOK is the canonical critical section.
+func balancedOK(c *proto.Ctx, lock int, work func()) {
+	c.Acquire(lock)
+	work()
+	c.Release(lock)
+}
+
+// earlyReturnHoldsLock leaves the critical section through an early
+// return without releasing: the waiting queue wedges for the whole run.
+func earlyReturnHoldsLock(c *proto.Ctx, lock int, bad bool, work func()) {
+	c.Acquire(lock)
+	if bad {
+		return // want `return while lock lock is still held \(acquired at line \d+\)`
+	}
+	work()
+	c.Release(lock)
+}
+
+// conditionalPairOK acquires and releases under the same condition: the
+// intersection join cancels the lock at the merge point, so neither the
+// merge nor the final return is flagged.
+func conditionalPairOK(c *proto.Ctx, lock int, guarded bool, work func()) {
+	if guarded {
+		c.Acquire(lock)
+	}
+	work()
+	if guarded {
+		c.Release(lock)
+	}
+}
+
+// fallsOffEndHoldingLock never releases at all and exits by falling off
+// the end of the body.
+func fallsOffEndHoldingLock(c *proto.Ctx, lock int, work func()) {
+	c.Acquire(lock)
+	work()
+} // want `return while lock lock is still held \(acquired at line \d+\)`
+
+// twoLocksOneLeakedStale releases only the first of two nested locks.
+func twoLocksOneLeaked(c *proto.Ctx, a, b int) {
+	c.Acquire(a)
+	c.Acquire(b)
+	c.Release(a)
+	return // want `return while lock b is still held \(acquired at line \d+\)`
+}
+
+// loopBodyBalancedOK pins the per-iteration pairing the applications use
+// (waterns, raytrace): acquire and release inside the loop body.
+func loopBodyBalancedOK(c *proto.Ctx, n int, work func()) {
+	for i := 0; i < n; i++ {
+		c.Acquire(i)
+		work()
+		c.Release(i)
+	}
+}

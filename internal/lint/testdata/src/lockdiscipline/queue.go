@@ -1,0 +1,109 @@
+// Fixture for the lockdiscipline analyzer, rule 2: the grant-discipline
+// Queue contract. PickNext must dequeue its pick, and any implementation
+// that can pick a non-head waiter must consult the forced() bypass
+// bookkeeping (the MaxBypass starvation bound).
+package lockdiscipline
+
+// Pick mirrors the lockpolicy pick outcome.
+type Pick struct {
+	Proc     int
+	Bypassed int
+}
+
+// fifoGood pops the head by reslicing: dequeues, never bypasses.
+type fifoGood struct {
+	q []int
+}
+
+func (f *fifoGood) PickNext(releaser int) Pick {
+	if len(f.q) == 0 {
+		return Pick{Proc: -1}
+	}
+	h := f.q[0]
+	f.q = f.q[1:]
+	return Pick{Proc: h}
+}
+
+// forgetfulQueue returns the head without removing it: the same waiter
+// would be granted again at the next release.
+type forgetfulQueue struct {
+	q []int
+}
+
+func (f *forgetfulQueue) PickNext(releaser int) Pick { // want `PickNext on forgetfulQueue never removes the picked waiter from the queue`
+	if len(f.q) == 0 {
+		return Pick{Proc: -1}
+	}
+	return Pick{Proc: f.q[0]}
+}
+
+// reorderBase is the shared bounded-bypass machinery the good reordering
+// policy builds on.
+type reorderBase struct {
+	q      []int
+	bypass []int
+}
+
+func (r *reorderBase) forced() int {
+	for i, b := range r.bypass {
+		if b >= 4 {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *reorderBase) take(i int) Pick {
+	p := Pick{Proc: r.q[i], Bypassed: i}
+	for j := 0; j < i; j++ {
+		r.bypass[j]++
+	}
+	r.q = append(r.q[:i], r.q[i+1:]...)
+	r.bypass = append(r.bypass[:i], r.bypass[i+1:]...)
+	return p
+}
+
+// boundedGood picks by preference but serves forced waiters first: the
+// contract shape the real affinity and lease policies follow.
+type boundedGood struct {
+	reorderBase
+	pref map[int]int
+}
+
+func (b *boundedGood) PickNext(releaser int) Pick {
+	if len(b.q) == 0 {
+		return Pick{Proc: -1}
+	}
+	if i := b.forced(); i >= 0 {
+		return b.take(i)
+	}
+	best := 0
+	for i := 1; i < len(b.q); i++ {
+		if b.pref[b.q[i]] > b.pref[b.q[best]] {
+			best = i
+		}
+	}
+	return b.take(best)
+}
+
+// starvingQueue reorders with no bypass bound at all: a waiter with low
+// preference can be passed over forever.
+type starvingQueue struct {
+	q    []int
+	pref map[int]int
+}
+
+func (s *starvingQueue) PickNext(releaser int) Pick { // want `PickNext on starvingQueue can bypass the queue head but never consults forced\(\)`
+	if len(s.q) == 0 {
+		return Pick{Proc: -1}
+	}
+	best := 0
+	for i := 1; i < len(s.q); i++ {
+		if s.pref[s.q[i]] > s.pref[s.q[best]] {
+			best = i
+		}
+	}
+	p := Pick{Proc: s.q[best], Bypassed: best}
+	s.q = append(s.q[:best], s.q[best+1:]...)
+	return p
+}

@@ -10,6 +10,12 @@ type Ctx struct {
 	P  *sim.Proc
 }
 
+// Acquire enters the critical section guarded by the lock (blocking).
+func (c *Ctx) Acquire(lock int) {}
+
+// Release leaves the critical section guarded by the lock (blocking).
+func (c *Ctx) Release(lock int) {}
+
 // ReadWord services a read access (blocking).
 func (c *Ctx) ReadWord(addr int) uint64 { return 0 }
 

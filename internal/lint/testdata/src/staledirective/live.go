@@ -1,0 +1,19 @@
+// This file's marker is legitimate: it really does fan work out to a
+// goroutine pool, so the directive audit must leave it alone.
+//
+//dsmvet:crossengine fans independent work units out to a goroutine pool
+package staledirective
+
+// Fan runs fn once per work unit on its own goroutine and waits.
+func Fan(n int, fn func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,17 @@
+// This file carries a crossengine marker left over from an earlier
+// revision: the worker pool it excused moved to live.go, and nothing
+// concurrent remains here. `dsmvet -unused-directives` must flag the
+// marker as stale (and the unused allow below as dead weight).
+//
+//dsmvet:crossengine historical: the worker pool this excused moved to live.go
+package staledirective
+
+// Sum is deliberately boring sequential code.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		//dsmvet:allow determinism speculative annotation that suppresses nothing
+		s += x
+	}
+	return s
+}
