@@ -140,6 +140,13 @@ func main() {
 			total[stats.Recovery],
 			run.Sum(func(p *stats.Proc) uint64 { return p.RecoveryHiddenCycles }),
 			run.Sum(func(p *stats.Proc) uint64 { return p.FaultStallCycles }))
+		if crashes := run.Sum(func(p *stats.Proc) uint64 { return p.NodeCrashes }); crashes > 0 {
+			fmt.Printf("crashes: %d node outages, %d cy failover, %d replica-log B, %d orphan invalidations\n",
+				crashes,
+				run.Sum(func(p *stats.Proc) uint64 { return p.FailoverCycles }),
+				run.Sum(func(p *stats.Proc) uint64 { return p.ReplicaLogBytes }),
+				run.Sum(func(p *stats.Proc) uint64 { return p.OrphanInvalidations }))
+		}
 	}
 
 	if *perProc {

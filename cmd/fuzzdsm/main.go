@@ -15,6 +15,7 @@
 //	fuzzdsm -policy all              # sweep fifo,mcs,affinity,lease per seed
 //	fuzzdsm -faults light            # inject a deterministic fault schedule
 //	fuzzdsm -faults drop=0.05,dup=0.02 -fault-seed 7
+//	fuzzdsm -crash-seed 5            # layer 1-2 seeded node crashes per workload
 //	fuzzdsm -jobs 8                  # 8 workloads in flight (same output)
 //
 // With -policy listing several grant disciplines (docs/LOCKING.md), each
@@ -29,6 +30,19 @@
 // the hardened transport (acks, retries, dedup) and degraded-mode LAP
 // are what make that possible. See docs/ROBUSTNESS.md.
 //
+// With -crash-seed N >= 0, each workload additionally gets one or two
+// seed-derived node crashes (state-destroying faults: primary-backup
+// lock-manager failover, orphan-page invalidation) layered onto the
+// -faults schedule, and every run must STILL be bit-identical — both
+// across protocols and against a fault-free run of the same workload.
+// The derived crash clauses are baked into the schedule, so failure
+// repro lines print them explicitly (-faults crash=NODE@AT:DOWN,...)
+// and shrinking replays them verbatim on every reduced variant; crashes
+// naming nodes beyond a reduced machine are ignored by the engine, and
+// absolute crash cycles may fall past the end of a shrunk run — a
+// fault-dependent failure then simply stops reproducing and the shrink
+// keeps the larger variant, which is still a one-line repro.
+//
 // Every failure is shrunk by seed replay and printed with the exact
 // one-line command that reproduces it. See docs/TESTING.md.
 package main
@@ -41,6 +55,7 @@ import (
 	"strings"
 	"sync"
 
+	"aecdsm/internal/apps"
 	"aecdsm/internal/check"
 	"aecdsm/internal/fault"
 	"aecdsm/internal/harness"
@@ -59,6 +74,7 @@ func main() {
 			"comma-separated lock grant disciplines to sweep (fifo, mcs, affinity, lease; \"all\" = every one; empty = the fifo default)")
 		faults    = flag.String("faults", "", "fault schedule: a preset (light, heavy) or clauses like drop=0.05,dup=0.02,delay=0.05:8000 (empty = no faults)")
 		faultSeed = flag.Uint64("fault-seed", 0, "base seed for the fault schedule (per-workload seed is fault-seed + workload seed)")
+		crashSeed = flag.Int64("crash-seed", -1, "derive 1-2 node crashes per workload from this seed and layer them onto -faults (-1 = none)")
 		verbose   = flag.Bool("v", false, "print every workload verdict, not just failures")
 	)
 	flag.Parse()
@@ -86,12 +102,30 @@ func main() {
 	// Phase 1: run every seeded workload, up to -jobs at a time. Each
 	// workload is a fully isolated set of engines, so they compose across
 	// OS threads; reports land in seed-indexed slots.
-	faultFor := func(s uint64) *fault.Config {
-		if baseFaults == nil {
+	faultFor := func(s uint64, nprocs int) *fault.Config {
+		if baseFaults == nil && *crashSeed < 0 {
 			return nil
 		}
-		fc := *baseFaults
+		var fc fault.Config
+		if baseFaults != nil {
+			fc = *baseFaults
+		}
 		fc.Seed = *faultSeed + s
+		if *crashSeed >= 0 {
+			// Derived crash clauses are baked into the Config, never
+			// shared: the slice is copied so concurrent workloads and the
+			// shrinker each own their schedule.
+			rng := apps.NewRand(s*0x9E3779B97F4A7C15 + uint64(*crashSeed))
+			fc.Crashes = append([]fault.Crash(nil), fc.Crashes...)
+			at := uint64(0)
+			for n := 1 + rng.Intn(2); n > 0; n-- {
+				at += uint64(50_000 + rng.Intn(1_500_000))
+				down := uint64(30_000 + rng.Intn(300_000))
+				fc.Crashes = append(fc.Crashes,
+					fault.Crash{Node: rng.Intn(nprocs), At: at, Down: down})
+				at += down
+			}
+		}
 		return &fc
 	}
 	reports := make([]*check.Report, *iters*len(policies))
@@ -99,7 +133,7 @@ func main() {
 		s := *seed + uint64(i/len(policies))
 		w := check.Generate(s, *procs)
 		w.Policy = policies[i%len(policies)]
-		reports[i] = check.RunWorkloadFault(w, kinds, faultFor(s))
+		reports[i] = check.RunWorkloadFault(w, kinds, faultFor(s, w.Procs))
 	})
 
 	// Phase 2: report (and shrink failures) strictly in seed order, so the
@@ -107,8 +141,8 @@ func main() {
 	failures := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + uint64(i)
-		fcfg := faultFor(s)
 		perPolicy := reports[i*len(policies) : (i+1)*len(policies)]
+		fcfg := faultFor(s, perPolicy[0].Workload.Procs)
 		for _, rep := range perPolicy {
 			if rep.Failed() {
 				failures++

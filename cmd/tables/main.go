@@ -17,6 +17,8 @@
 //	tables -scaling        # 16/64/256-processor scaling-architecture sweep
 //	tables -scaling -scaling-procs 16,64,256,1024 -scaling-app Ocean
 //	tables -locklab        # lock-policy lab: MVA prediction vs simulation
+//	tables -recovery       # crash-tolerance sweep: faults x protocols (docs/ROBUSTNESS.md)
+//	tables -recovery -recovery-app Ocean
 //
 // The -scaling sweep runs the machine with the scaling architecture
 // enabled (radix-16 barrier combining, hash-sharded homes and lock
@@ -77,6 +79,9 @@ func main() {
 		scalingApp   = flag.String("scaling-app", "Ocean", "application for -scaling")
 
 		locklab = flag.Bool("locklab", false, "run the lock-policy lab: MVA prediction vs simulation for all four grant disciplines (docs/LOCKING.md)")
+
+		recovery    = flag.Bool("recovery", false, "run the crash-tolerance sweep: fault schedules x DSM protocols (docs/ROBUSTNESS.md)")
+		recoveryApp = flag.String("recovery-app", "IS", "application for -recovery")
 	)
 	flag.Parse()
 
@@ -141,6 +146,8 @@ func main() {
 		e.ScalingSweep(w, *scalingApp, procs)
 	case *locklab:
 		e.LockLab(w)
+	case *recovery:
+		e.RecoverySweep(w, *recoveryApp)
 	case *table == "" && *figure == "":
 		e.All(w)
 	case *table == "1":

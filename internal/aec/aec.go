@@ -28,6 +28,7 @@ import (
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
+	"aecdsm/internal/recover"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
 	"aecdsm/internal/topo"
@@ -54,6 +55,7 @@ const (
 	kBarReady
 	kBarComplete
 	kBarInstrBatch
+	kRepLog // lock-manager replication log record -> backup node
 )
 
 // Options configures an AEC instance.
@@ -101,6 +103,16 @@ type AEC struct {
 	// protocol serves one engine, so reuse is safe and keeps the merge
 	// hot path free of page-sized allocations.
 	merger *mem.Merger
+
+	// rep is the lock-manager replication log, armed only when the fault
+	// schedule contains crashes (docs/ROBUSTNESS.md). Nil means no
+	// replication traffic at all: runs without crash faults are
+	// byte-identical to the pre-recovery protocol.
+	rep *recover.Replicator
+	// failoverCost accumulates, per crashed node, the failover work done
+	// at the crash instant (log replay, orphan sweep); the engine charges
+	// it to the node at restart (sim.Engine.OnRestart).
+	failoverCost map[int]uint64
 }
 
 // New builds an AEC protocol with the given options.
@@ -171,6 +183,17 @@ func (pr *AEC) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 			p := pr.locks[i].pred
 			p.Tracer, p.Lock, p.Mgr, p.Clock = e.Tracer, i, pr.mgrOf(i), e.Now
 		}
+	}
+	// Crash tolerance (docs/ROBUSTNESS.md): when the fault schedule can
+	// destroy a node, every lock-manager action is replicated to the
+	// manager's backup before it takes effect, and the crash/restart
+	// hooks fail managed locks over to the replicated log and sweep the
+	// crashed node's volatile push buffers and clean page copies.
+	if e.Faults != nil && e.Faults.HasCrashes() {
+		pr.rep = recover.NewReplicator()
+		pr.failoverCost = map[int]uint64{}
+		e.OnCrash(pr.onCrash)
+		e.OnRestart(pr.onRestart)
 	}
 	pr.bar = barrierState{
 		arrivals: make([]*arriveMsg, pr.nprocs),

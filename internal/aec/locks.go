@@ -5,6 +5,7 @@ import (
 
 	"aecdsm/internal/mem"
 	"aecdsm/internal/proto"
+	"aecdsm/internal/recover"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
 	"aecdsm/internal/trace"
@@ -222,15 +223,21 @@ func (pr *AEC) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 	l := pr.locks[req.lock]
 	s.ChargeList(l.pred.RequestElems())
 	if l.held {
+		if pr.rep != nil {
+			pr.rep.Ship(s, pr.nprocs, kRepLog,
+				recover.Record{Lock: req.lock, Op: recover.OpEnqueue, Proc: m.From})
+		}
 		l.pred.Enqueue(m.From)
 		return
 	}
-	pr.grantLock(s, req.lock, m.From)
+	pr.grantLock(s, req.lock, m.From, false)
 }
 
 // grantLock hands the lock to proc, computing its update set (LAP) and
-// telling it how to bring its memory up to date.
-func (pr *AEC) grantLock(s *sim.Svc, lock, to int) {
+// telling it how to bring its memory up to date. fromQueue marks grants
+// that consumed a queued waiter (the release path), which the replication
+// log must know to replay the queue removal at failover.
+func (pr *AEC) grantLock(s *sim.Svc, lock, to int, fromQueue bool) {
 	l := pr.locks[lock]
 	prev := l.lastReleaser
 	l.pred.Granted(to, prev)
@@ -238,6 +245,11 @@ func (pr *AEC) grantLock(s *sim.Svc, lock, to int) {
 	if pr.opt.UseLAP {
 		us = l.pred.UpdateSet(to)
 		s.ChargeList(len(us) + 1)
+	}
+	if pr.rep != nil {
+		pr.rep.Ship(s, pr.nprocs, kRepLog,
+			recover.Record{Lock: lock, Op: recover.OpGrant, Proc: to, FromQueue: fromQueue,
+				Count: l.acqCount + 1, US: append([]int(nil), us...)})
 	}
 	l.held = true
 	l.holder = to
@@ -466,17 +478,24 @@ func (pr *AEC) handleRel(s *sim.Svc, m *sim.Msg) {
 	r := m.Payload.(relMsg)
 	l := pr.locks[r.lock]
 	s.ChargeList(1 + len(r.pages))
+	lastUS, cumPages := l.curUS, r.pages
+	if r.step != pr.bar.seq {
+		lastUS, cumPages = nil, nil
+	}
+	if pr.rep != nil {
+		// The record carries the RESULTING chain state, not the message:
+		// replaying "r.step == pr.bar.seq" later would consult the wrong
+		// barrier phase (recover package comment).
+		pr.rep.Ship(s, pr.nprocs, kRepLog,
+			recover.Record{Lock: r.lock, Op: recover.OpRelease, Proc: m.From, Count: r.count,
+				US: append([]int(nil), lastUS...), Pages: append([]int(nil), cumPages...)})
+	}
 	l.held = false
 	l.holder = -1
 	l.lastReleaser = m.From
 	l.lastCount = r.count
-	if r.step == pr.bar.seq {
-		l.lastUS = l.curUS
-		l.cumPages = r.pages
-	} else {
-		l.lastUS = nil
-		l.cumPages = nil
-	}
+	l.lastUS = lastUS
+	l.cumPages = cumPages
 	// Hand the lock on per the grant policy. GrantElems is 0 for the
 	// head-popping disciplines, so the default charges nothing extra.
 	s.ChargeList(l.pred.GrantElems())
@@ -487,7 +506,7 @@ func (pr *AEC) handleRel(s *sim.Svc, m *sim.Msg) {
 		if pk.Renewal {
 			s.P.Stats.LeaseRenewals++
 		}
-		pr.grantLock(s, r.lock, pk.Proc)
+		pr.grantLock(s, r.lock, pk.Proc, true)
 	}
 }
 

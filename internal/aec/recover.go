@@ -1,0 +1,140 @@
+package aec
+
+import (
+	"aecdsm/internal/recover"
+	"aecdsm/internal/trace"
+)
+
+// Crash failover (docs/ROBUSTNESS.md). The simulator models a node crash
+// as an outage window (no message in or out, in-flight traffic lost) plus
+// the loss of the node's volatile protocol state; its computation is
+// checkpointed and resumes at restart (internal/sim/crash.go). Three
+// things on a crashed node are volatile and must be dealt with at the
+// crash instant, atomically — the node can still message itself through
+// the engine's local-delivery shortcut, so no event may ever observe
+// half-recovered state:
+//
+//  1. Lock-manager state of the locks the node manages. The backup holds
+//     the replication log (every enqueue/grant/release, shipped before it
+//     took effect); replaying it rebuilds the wait queue — with the grant
+//     policy's bypass counters and lease tenure reproduced exactly — and
+//     the holder/chain metadata. Because the log is prefix-complete at
+//     every event boundary, the rebuilt state is identical to the lost
+//     state, which is precisely the determinism argument: a crash changes
+//     WHEN the manager answers (requests retry across the outage), never
+//     WHAT it answers. Grants in flight at the crash are re-driven by the
+//     reliable transport's retransmission loop, not by the failover.
+//
+//  2. Received LAP push buffers that nothing has consumed yet. They are
+//     dropped; when the node next acquires the lock, the grant finds no
+//     fresh push, times out, and takes the degraded-mode LAP fallback
+//     (explicit fetches from the last owner). A partially applied buffer
+//     is kept: its applied portion already landed in page frames, and the
+//     applied flags are what prevents double application.
+//
+//  3. The node's clean page copies, which are orphaned by the crash and
+//     invalidated: the next access re-faults and revalidates (re-fetching
+//     the base from the page's home when the access-history rule demands
+//     it). Only copies whose loss is recoverable from elsewhere qualify —
+//     pages homed here (the home copy is modeled as stable storage, like
+//     the replication journal), pages with live twins or un-diffed local
+//     modifications, and the current critical section's chain pages (their
+//     applied diffs are tracked by buffers we must not desynchronize) are
+//     all kept. Since a clean copy is byte-identical to what a re-fetch
+//     returns, the invalidation perturbs timing only — the fault-injection
+//     contract.
+//
+// Diff stores (myMerged, diffStore) and the last-releaser role survive a
+// crash: remote processors fetch from them, and destroying them would
+// change results, not timing. They ride the same stable-storage fiction
+// as the replication journal.
+//
+// All failover work is costed: log replay and the orphan sweep accumulate
+// into failoverCost, which the engine charges to the node at restart as
+// FailoverCycles on top of the fixed reboot charge (sim/crash.go).
+
+// onCrash is the engine's crash hook: fail the node's managed locks over
+// to the replication log, scrub unconsumed push buffers, and invalidate
+// orphaned clean page copies.
+func (pr *AEC) onCrash(node int) {
+	pp := &pr.e.Params
+	cost := pp.InterruptCycles // failover trap at the backup
+
+	for lock, l := range pr.locks {
+		if pr.mgrOf(lock) != node {
+			continue
+		}
+		recs := pr.rep.Records(lock)
+		l.pred.RecoverReset()
+		img := recover.Replay(recs, l.pred)
+		l.held = img.Held
+		l.holder = img.Holder
+		// acqCount is the count of the newest grant: the holder's while
+		// held, the last releaser's otherwise (each release's count equals
+		// the count of the grant it closes).
+		if img.Held {
+			l.acqCount = img.Count
+		} else {
+			l.acqCount = img.LastCount
+		}
+		l.curGrantCount = img.Count
+		l.curUS = img.US
+		l.lastReleaser = img.LastReleaser
+		l.lastCount = img.LastCount
+		l.lastUS = img.LastUS
+		l.cumPages = img.CumPages
+		cost += pp.ListCycles(1 + len(recs))
+	}
+
+	st := pr.ps[node]
+	for lock, buf := range st.recv {
+		if anyApplied(buf) {
+			continue
+		}
+		delete(st.recv, lock)
+	}
+
+	ctx := pr.ctxs[node]
+	inval := 0
+	for pg := 0; pg < pr.s.Pages(); pg++ {
+		f := ctx.M.Peek(pg)
+		if !f.Valid || !f.EverValid || f.Twin != nil {
+			continue
+		}
+		if st.dirtyOutside[pg] || st.dirtyInside[pg] || st.homes[pg] == node {
+			continue
+		}
+		if st.inCS > 0 && pr.pageInChain(st, st.curLock, pg) {
+			continue
+		}
+		ctx.M.Invalidate(pg)
+		inval++
+		if pr.e.Tracer != nil {
+			ev := trace.Ev(pr.e.Now(), node, trace.KindOrphanInval)
+			ev.Page = pg
+			pr.e.Tracer.Trace(ev)
+		}
+	}
+	ctx.P.Stats.OrphanInvalidations += uint64(inval)
+	cost += pp.ListCycles(inval)
+
+	pr.failoverCost[node] += cost
+}
+
+// onRestart is the engine's restart hook: it surrenders the accumulated
+// failover cost, which the engine charges to the restarted node.
+func (pr *AEC) onRestart(node int) uint64 {
+	c := pr.failoverCost[node]
+	delete(pr.failoverCost, node)
+	return c
+}
+
+// anyApplied reports whether any diff of a push buffer has been applied.
+func anyApplied(buf *recvBuf) bool {
+	for _, ok := range buf.applied {
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -27,6 +27,10 @@ type Report struct {
 	// fault-free).
 	Faults *fault.Config
 	Runs   []ProtocolRun
+	// Baseline is the fault-free ground-truth run of the first protocol,
+	// present only when Faults != nil: every faulted run's checksums must
+	// match it bit for bit, not merely agree with each other.
+	Baseline *ProtocolRun
 	// Failures lists everything wrong: per-run deadlocks, verification
 	// errors and invariant violations, plus cross-protocol disagreements.
 	// Empty means every protocol agreed and every invariant held.
@@ -45,6 +49,10 @@ func (r *Report) String() string {
 		w.Cfg.Phases, w.Cfg.OpsPerPhase, w.Cfg.PadWords, w.Cfg.Notices, policyTag(w.Policy))
 	if r.Faults != nil {
 		fmt.Fprintf(&b, "  faults %s seed=%d\n", r.Faults, r.Faults.Seed)
+	}
+	if r.Baseline != nil {
+		fmt.Fprintf(&b, "  %-10s final=%016x (fault-free baseline)\n",
+			r.Baseline.Kind, r.Baseline.Final)
 	}
 	for _, run := range r.Runs {
 		fmt.Fprintf(&b, "  %-10s final=%016x deadlock=%v verify=%v violations=%d\n",
@@ -136,6 +144,45 @@ func RunWorkloadFault(w Workload, kinds []harness.ProtocolKind, fcfg *fault.Conf
 		}
 		for _, v := range run.Violations {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: invariant violated: %s", k, v))
+		}
+	}
+	// Fault-free ground truth: faults may change timing, never results.
+	// One clean run of the first protocol anchors the faulted runs — the
+	// bar for fault (and especially crash) schedules is bit-identical
+	// barrier-phase checksums against the fault-free execution, not merely
+	// cross-protocol agreement, which a shared fault-induced divergence
+	// could in principle satisfy.
+	if fcfg != nil && len(kinds) > 0 {
+		prog := apps.NewSynth(w.Cfg)
+		res := harness.Run(w.Params(), harness.NewProtocol(kinds[0], 2), prog)
+		base := &ProtocolRun{
+			Kind:       kinds[0],
+			Deadlocked: res.Deadlocked,
+			VerifyErr:  res.VerifyErr,
+			Final:      prog.FinalChecksum(),
+			Phases:     prog.PhaseChecksums(),
+		}
+		rep.Baseline = base
+		for _, run := range rep.Runs {
+			if run.Final != base.Final {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"%s: faulted final %016x != fault-free %016x",
+					run.Kind, run.Final, base.Final))
+			}
+			if len(run.Phases) != len(base.Phases) {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"%s: phase count changed under faults: %d vs fault-free %d",
+					run.Kind, len(run.Phases), len(base.Phases)))
+				continue
+			}
+			for p := range base.Phases {
+				if run.Phases[p] != base.Phases[p] {
+					rep.Failures = append(rep.Failures, fmt.Sprintf(
+						"%s phase %d: faulted %016x != fault-free %016x",
+						run.Kind, p, run.Phases[p], base.Phases[p]))
+					break
+				}
+			}
 		}
 	}
 	// Cross-protocol equivalence against the first run.

@@ -103,6 +103,71 @@ func TestFaultedRunsDeterministic(t *testing.T) {
 	}
 }
 
+// TestCrashSchedulesAgree is the state-destroying differential property:
+// node crashes (primary-backup lock-manager failover plus orphan-page
+// invalidation, docs/ROBUSTNESS.md) and network partitions must leave
+// every protocol's barrier-phase checksums bit-identical to the
+// fault-free run. RunWorkloadFault's Baseline comparison enforces the
+// fault-free half directly; the cross-protocol comparison the agreement
+// half.
+func TestCrashSchedulesAgree(t *testing.T) {
+	specs := []string{
+		"drop=0.01,crash=0@200000:300000",
+		"crash=5@9000000:500000,burst=0.02:6",
+		"crash=1@1000000:250000,crash=3@5000000:400000",
+		"partition=0.2@3000000:600000,drop=0.01",
+	}
+	if testing.Short() {
+		specs = specs[:2]
+	}
+	for i, spec := range specs {
+		fc := mustSpec(t, spec, 40+uint64(i))
+		rep := RunSeedFault(2+uint64(i), 8, AllProtocols(), fc)
+		if rep.Failed() {
+			small, spent := ShrinkFault(rep.Workload, AllProtocols(), 32, fc)
+			t.Fatalf("spec %q failed (shrunk in %d replays):\n%s", spec, spent, small)
+		}
+		if rep.Baseline == nil {
+			t.Fatalf("spec %q: no fault-free baseline recorded", spec)
+		}
+	}
+}
+
+// TestCrashFailoverFires pins the mechanism, not just the outcome: under
+// a mid-run crash of a manager node, every DSM protocol must actually
+// take the failover path (crash counted, replication log non-empty) and
+// still produce the fault-free answer.
+func TestCrashFailoverFires(t *testing.T) {
+	w := Generate(2, 0)
+	clean := apps.NewSynth(w.Cfg)
+	harness.MustRun(w.Params(), harness.NewProtocol(harness.ProtoAEC, 2), clean)
+	want := clean.FinalChecksum()
+
+	fc := mustSpec(t, "crash=5@9000000:500000", 7)
+	for _, k := range []harness.ProtocolKind{harness.ProtoAEC, harness.ProtoTM, harness.ProtoMunin} {
+		prog := apps.NewSynth(w.Cfg)
+		res := harness.RunFaultTraced(w.Params(), harness.NewProtocol(k, 2), prog, nil, fc)
+		if res.Deadlocked || res.VerifyErr != nil {
+			t.Fatalf("%s: deadlock=%v verify=%v", k, res.Deadlocked, res.VerifyErr)
+		}
+		crashes := res.Run.Sum(func(p *stats.Proc) uint64 { return p.NodeCrashes })
+		logBytes := res.Run.Sum(func(p *stats.Proc) uint64 { return p.ReplicaLogBytes })
+		failover := res.Run.Sum(func(p *stats.Proc) uint64 { return p.FailoverCycles })
+		if crashes != 1 {
+			t.Errorf("%s: want 1 crash, got %d", k, crashes)
+		}
+		if logBytes == 0 {
+			t.Errorf("%s: replication log never shipped a record", k)
+		}
+		if failover == 0 {
+			t.Errorf("%s: crash charged no failover cycles", k)
+		}
+		if got := prog.FinalChecksum(); got != want {
+			t.Errorf("%s: crashed run changed the answer: %016x != %016x", k, got, want)
+		}
+	}
+}
+
 // TestLAPFallback forces the degraded-mode LAP path: with every
 // best-effort push dropped, AEC acquirers must time out waiting for the
 // predicted update, fall back to explicit home-based fetches, and still

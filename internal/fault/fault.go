@@ -57,6 +57,22 @@ type Config struct {
 	DegradeWindow uint64
 	DegradeExtra  uint64
 
+	// Burst is the per-transmission probability that the network enters a
+	// drop burst (a bad cable): this transmission and the next
+	// uniform[0, BurstLen-1] transmissions are all dropped, instead of
+	// Bernoulli singles. The MaxAttempts floor still applies per message.
+	Burst    float64
+	BurstLen uint64
+
+	// Crashes schedules node crash/restart events: state-destroying
+	// faults, unlike everything above. Closed (Down > 0) by construction —
+	// ParseSpec rejects a crash never matched by a restart.
+	Crashes []Crash
+	// Partitions schedules full network partitions: traffic between the
+	// named group and the rest of the machine is dropped for the window.
+	// Closed (Until > At) by construction.
+	Partitions []Partition
+
 	// RTO is the initial retransmission timeout in virtual cycles; it
 	// doubles per attempt (capped). Zero selects DefaultRTO.
 	RTO uint64
@@ -65,6 +81,42 @@ type Config struct {
 	// any more, so delivery is guaranteed. Zero selects
 	// DefaultMaxAttempts.
 	MaxAttempts int
+}
+
+// Crash schedules one node outage: the node loses its volatile protocol
+// state (cached page copies, manager queues, in-flight buffers) at cycle
+// At and restarts, empty, at At+Down. Messages to or from the node are
+// dropped for the whole window.
+type Crash struct {
+	Node int
+	At   uint64
+	Down uint64
+}
+
+// Partition schedules one full network partition: from At until Until,
+// every message with exactly one endpoint in Nodes is dropped. Nodes keep
+// their state (unlike a crash) and resume exactly where they were at heal.
+type Partition struct {
+	Nodes []int
+	At    uint64
+	Until uint64
+}
+
+// covers reports whether the partition separates a from b at cycle now.
+func (p *Partition) covers(now uint64, a, b int) bool {
+	if now < p.At || now >= p.Until {
+		return false
+	}
+	inA, inB := false, false
+	for _, n := range p.Nodes {
+		if n == a {
+			inA = true
+		}
+		if n == b {
+			inB = true
+		}
+	}
+	return inA != inB
 }
 
 // Defaults for the recovery-timing knobs.
@@ -105,9 +157,15 @@ var Presets = map[string]string{
 // ("light", "heavy") or a comma-separated list of clauses
 //
 //	drop=P  dup=P  delay=P:MAXCY  stall=P:MAXCY  degrade=P:WINDOWCY:EXTRACY
-//	rto=CYCLES  maxattempts=N
+//	burst=P:LEN  rto=CYCLES  maxattempts=N
+//	crash=NODE@AT:DOWNCY  restart=NODE@AT
+//	partition=N1.N2.…@AT:LENCY  heal=AT
 //
 // e.g. "drop=0.01,dup=0.005,delay=0.02:2000". Probabilities are in [0,1].
+// crash without :DOWNCY and partition without :LENCY are open until a
+// later restart/heal clause closes them; a spec that leaves any outage
+// open is rejected, which keeps every schedule finite (the liveness
+// arguments in docs/ROBUSTNESS.md depend on outages ending).
 // The returned Config has Seed zero; callers set it from their -fault-seed.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
@@ -141,6 +199,22 @@ func ParseSpec(spec string) (Config, error) {
 			}
 			return n, nil
 		}
+		// nodeAt splits "NODE@AT" (the crash/restart clause head).
+		nodeAt := func(s string) (int, uint64, error) {
+			ns, as, ok := strings.Cut(s, "@")
+			if !ok {
+				return 0, 0, fmt.Errorf("fault: %s wants NODE@CYCLE, got %q", key, s)
+			}
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 0 {
+				return 0, 0, fmt.Errorf("fault: %s wants a node number, got %q", key, ns)
+			}
+			at, err := strconv.ParseUint(as, 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("fault: %s wants a cycle, got %q", key, as)
+			}
+			return n, at, nil
+		}
 		var err error
 		switch strings.ToLower(key) {
 		case "drop":
@@ -161,6 +235,84 @@ func ParseSpec(spec string) (Config, error) {
 					c.DegradeExtra, err = cycles(2)
 				}
 			}
+		case "burst":
+			if c.Burst, err = prob(); err == nil {
+				c.BurstLen, err = cycles(1)
+			}
+		case "crash":
+			var n int
+			var at uint64
+			if n, at, err = nodeAt(parts[0]); err == nil {
+				cr := Crash{Node: n, At: at}
+				if len(parts) > 1 {
+					cr.Down, err = cycles(1)
+				}
+				c.Crashes = append(c.Crashes, cr)
+			}
+		case "restart":
+			var n int
+			var at uint64
+			if n, at, err = nodeAt(parts[0]); err == nil {
+				err = fmt.Errorf("fault: restart=%s matches no open crash of node %d", val, n)
+				for i := len(c.Crashes) - 1; i >= 0; i-- {
+					cr := &c.Crashes[i]
+					if cr.Node == n && cr.Down == 0 {
+						if at <= cr.At {
+							err = fmt.Errorf("fault: restart=%s is not after the crash at cycle %d", val, cr.At)
+						} else {
+							cr.Down, err = at-cr.At, nil
+						}
+						break
+					}
+				}
+			}
+		case "partition":
+			ns, as, ok := strings.Cut(parts[0], "@")
+			if !ok {
+				err = fmt.Errorf("fault: partition wants N1.N2.…@CYCLE, got %q", parts[0])
+				break
+			}
+			var p Partition
+			for _, f := range strings.Split(ns, ".") {
+				var n int
+				if n, err = strconv.Atoi(f); err != nil || n < 0 {
+					err = fmt.Errorf("fault: partition wants node numbers, got %q", f)
+					break
+				}
+				p.Nodes = append(p.Nodes, n)
+			}
+			if err != nil {
+				break
+			}
+			if p.At, err = strconv.ParseUint(as, 10, 64); err != nil {
+				err = fmt.Errorf("fault: partition wants a cycle, got %q", as)
+				break
+			}
+			if len(parts) > 1 {
+				var length uint64
+				if length, err = cycles(1); err == nil {
+					p.Until = p.At + length
+				}
+			}
+			c.Partitions = append(c.Partitions, p)
+		case "heal":
+			var at uint64
+			if at, err = strconv.ParseUint(parts[0], 10, 64); err != nil {
+				err = fmt.Errorf("fault: heal wants a cycle, got %q", parts[0])
+				break
+			}
+			err = fmt.Errorf("fault: heal=%s matches no open partition", val)
+			for i := len(c.Partitions) - 1; i >= 0; i-- {
+				p := &c.Partitions[i]
+				if p.Until == 0 {
+					if at <= p.At {
+						err = fmt.Errorf("fault: heal=%s is not after the partition at cycle %d", val, p.At)
+					} else {
+						p.Until, err = at, nil
+					}
+					break
+				}
+			}
 		case "rto":
 			c.RTO, err = cycles(0)
 		case "maxattempts":
@@ -169,11 +321,24 @@ func ParseSpec(spec string) (Config, error) {
 				c.MaxAttempts = int(n)
 			}
 		default:
-			err = fmt.Errorf("fault: unknown clause %q (want drop/dup/delay/stall/degrade/rto/maxattempts or a preset %v)",
+			err = fmt.Errorf("fault: unknown clause %q (want drop/dup/delay/stall/degrade/burst/crash/restart/partition/heal/rto/maxattempts or a preset %v)",
 				key, presetNames())
 		}
 		if err != nil {
 			return c, err
+		}
+	}
+	for _, cr := range c.Crashes {
+		if cr.Down == 0 {
+			return c, fmt.Errorf("fault: crash of node %d at cycle %d is never restarted (add :DOWNCY or a restart clause)", cr.Node, cr.At)
+		}
+	}
+	for _, p := range c.Partitions {
+		if p.Until == 0 {
+			return c, fmt.Errorf("fault: partition at cycle %d is never healed (add :LENCY or a heal clause)", p.At)
+		}
+		if len(p.Nodes) == 0 {
+			return c, fmt.Errorf("fault: partition at cycle %d names no nodes", p.At)
 		}
 	}
 	return c, nil
@@ -202,6 +367,19 @@ func (c Config) String() string {
 	if c.Degrade > 0 {
 		parts = append(parts, fmt.Sprintf("degrade=%g:%d:%d", c.Degrade, c.DegradeWindow, c.DegradeExtra))
 	}
+	if c.Burst > 0 {
+		parts = append(parts, fmt.Sprintf("burst=%g:%d", c.Burst, c.BurstLen))
+	}
+	for _, cr := range c.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%d@%d:%d", cr.Node, cr.At, cr.Down))
+	}
+	for _, p := range c.Partitions {
+		group := make([]string, len(p.Nodes))
+		for i, n := range p.Nodes {
+			group[i] = strconv.Itoa(n)
+		}
+		parts = append(parts, fmt.Sprintf("partition=%s@%d:%d", strings.Join(group, "."), p.At, p.Until-p.At))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -217,7 +395,7 @@ type SendDecision struct {
 
 // Counts snapshots what the injector has done so far.
 type Counts struct {
-	Drops, Dups, Delays, Stalls, DegradeWindows uint64
+	Drops, Dups, Delays, Stalls, DegradeWindows, Bursts, OutageDrops uint64
 }
 
 // Injector makes the per-message fault decisions for one run. It is not
@@ -230,6 +408,10 @@ type Injector struct {
 	// degradedUntil maps a directed (from, to) pair to the end of its
 	// current degraded window.
 	degradedUntil map[[2]int]uint64
+
+	// burstLeft counts the remaining transmissions in the current drop
+	// burst (0 = not in a burst).
+	burstLeft uint64
 
 	counts Counts
 }
@@ -283,9 +465,28 @@ func (in *Injector) cyclesIn(max uint64) uint64 {
 // by then both the message and its ack go through.
 func (in *Injector) OnSend(now uint64, from, to, attempt int, reliable bool) SendDecision {
 	var d SendDecision
-	if in.chance(in.cfg.Drop) && !(reliable && attempt >= in.cfg.maxAttempts()) {
+	floor := reliable && attempt >= in.cfg.maxAttempts()
+	if in.chance(in.cfg.Drop) && !floor {
 		d.Drop = true
 		in.counts.Drops++
+	}
+	// Correlated drop burst: once open, it eats consecutive transmissions
+	// regardless of their endpoints (a shared bad cable), honoring the
+	// same reliable-attempt floor per message. No RNG draw is made while a
+	// burst is open, and none ever when Burst is zero.
+	if in.burstLeft > 0 {
+		in.burstLeft--
+		if !floor && !d.Drop {
+			d.Drop = true
+			in.counts.Drops++
+		}
+	} else if in.chance(in.cfg.Burst) {
+		in.burstLeft = in.cyclesIn(in.cfg.BurstLen) - 1
+		in.counts.Bursts++
+		if !floor && !d.Drop {
+			d.Drop = true
+			in.counts.Drops++
+		}
 	}
 	if in.chance(in.cfg.Dup) {
 		d.Dup = true
@@ -347,6 +548,76 @@ func (in *Injector) PushTimeout() uint64 {
 	}
 	return 2*base + in.cfg.DelayMax
 }
+
+// Down reports whether node is inside a crash window at cycle now. The
+// check draws no randomness — the schedule is fixed in the Config — so
+// outage queries never perturb the fault decision stream.
+func (in *Injector) Down(now uint64, node int) bool {
+	for _, cr := range in.cfg.Crashes {
+		if cr.Node == node && now >= cr.At && now < cr.At+cr.Down {
+			return true
+		}
+	}
+	return false
+}
+
+// Cut reports whether a partition separates from and to at cycle now
+// (exactly one endpoint inside an active partition group). Draws no
+// randomness.
+func (in *Injector) Cut(now uint64, from, to int) bool {
+	for i := range in.cfg.Partitions {
+		if in.cfg.Partitions[i].covers(now, from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Outage reports whether the (from, to) path is unusable at cycle now —
+// either endpoint crashed, or a partition between them — and counts the
+// hit. These drops bypass the MaxAttempts floor: a crashed node is
+// physically disconnected. Liveness survives because every outage window
+// is finite (ParseSpec validation) and retransmission resumes at
+// OutageEnd.
+func (in *Injector) Outage(now uint64, from, to int) bool {
+	if in.Down(now, from) || in.Down(now, to) || in.Cut(now, from, to) {
+		in.counts.OutageDrops++
+		return true
+	}
+	return false
+}
+
+// OutageEnd returns the first cycle at or after now at which the
+// (from, to) path is clear of every outage window covering it (now itself
+// when the path is clear). Retransmission timers re-arm here rather than
+// burning attempts into a dead link.
+func (in *Injector) OutageEnd(now uint64, from, to int) uint64 {
+	end := now
+	for changed := true; changed; {
+		changed = false
+		for _, cr := range in.cfg.Crashes {
+			if (cr.Node == from || cr.Node == to) && end >= cr.At && end < cr.At+cr.Down {
+				end = cr.At + cr.Down
+				changed = true
+			}
+		}
+		for i := range in.cfg.Partitions {
+			if p := &in.cfg.Partitions[i]; p.covers(end, from, to) {
+				end = p.Until
+				changed = true
+			}
+		}
+	}
+	return end
+}
+
+// HasCrashes reports whether the schedule destroys node state at all —
+// the switch that arms the replication layer in the protocols.
+func (in *Injector) HasCrashes() bool { return len(in.cfg.Crashes) > 0 }
+
+// CrashSchedule returns the configured crash windows (shared slice; do
+// not mutate).
+func (in *Injector) CrashSchedule() []Crash { return in.cfg.Crashes }
 
 // Counts returns a snapshot of the injector's decision counters.
 func (in *Injector) Counts() Counts { return in.counts }

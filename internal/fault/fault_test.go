@@ -1,6 +1,9 @@
 package fault
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseSpecClauses(t *testing.T) {
 	c, err := ParseSpec("drop=0.05,dup=0.02,delay=0.1:8000,stall=0.01:20000,degrade=0.02:50000:200,rto=5000,maxattempts=4")
@@ -62,12 +65,55 @@ func TestStringRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-parsing %q: %v", orig.String(), err)
 	}
-	if back != orig {
+	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("round trip changed the schedule: %+v vs %+v", orig, back)
 	}
 	var zero Config
 	if zero.String() != "none" {
 		t.Fatalf("zero schedule renders %q", zero.String())
+	}
+}
+
+// TestOutageRoundTrip: the state-destroying clauses must survive a
+// String/ParseSpec round trip exactly — fuzzdsm prints reproduce lines
+// in this syntax.
+func TestOutageRoundTrip(t *testing.T) {
+	orig, err := ParseSpec("burst=0.02:6,crash=3@50000:20000,crash=1@90000,restart=1@140000,partition=0.2@10000:5000,partition=5@200000,heal=230000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Crashes) != 2 || orig.Crashes[1].Down != 50000 {
+		t.Fatalf("restart clause did not close the crash: %+v", orig.Crashes)
+	}
+	if len(orig.Partitions) != 2 || orig.Partitions[1].Until != 230000 {
+		t.Fatalf("heal clause did not close the partition: %+v", orig.Partitions)
+	}
+	back, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", orig.String(), err)
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Fatalf("round trip changed the schedule:\n%+v\nvs\n%+v", orig, back)
+	}
+}
+
+func TestOutageSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"burst=0.5",                 // missing burst length
+		"burst=0.5:0",               // zero burst length
+		"crash=1",                   // missing @cycle
+		"crash=x@100:10",            // bad node
+		"crash=1@100",               // open-ended crash, never restarted
+		"restart=1@100",             // restart with no crash
+		"crash=1@100,restart=1@50",  // restart before the crash
+		"partition=0.1@100",         // never healed
+		"partition=@100:10",         // no nodes
+		"heal=100",                  // heal with no partition
+		"partition=0.1@100,heal=50", // heal before the cut
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", spec)
+		}
 	}
 }
 
@@ -173,6 +219,108 @@ func TestRTOBackoff(t *testing.T) {
 	}
 	if def.PushTimeout() < 2*DefaultRTO {
 		t.Fatalf("PushTimeout %d should cover two RTOs", def.PushTimeout())
+	}
+}
+
+// TestBurstCorrelation: burst=1:N must drop runs of consecutive
+// transmissions, unlike Bernoulli drop which never correlates. With
+// Burst=1 and every window spent, every transmission drops; the window
+// length draw stays within [1, BurstLen].
+func TestBurstCorrelation(t *testing.T) {
+	in := New(Config{Seed: 9, Burst: 1, BurstLen: 5})
+	for i := 0; i < 200; i++ {
+		if !in.OnSend(0, 0, 1, 1, false).Drop {
+			t.Fatalf("burst=1 transmission %d not dropped", i)
+		}
+	}
+	c := in.Counts()
+	if c.Bursts == 0 || c.Drops != 200 {
+		t.Fatalf("burst accounting wrong: %+v", c)
+	}
+	// Each window covers between 1 and BurstLen transmissions.
+	if c.Bursts < 200/5 || c.Bursts > 200 {
+		t.Fatalf("window count %d outside [40,200] for len<=5", c.Bursts)
+	}
+
+	// A rare burst yields runs: find at least one run of >=2 consecutive
+	// drops, which Bernoulli drop at the same marginal rate would make
+	// vanishingly unlikely to demand deterministically.
+	runs := New(Config{Seed: 5, Burst: 0.05, BurstLen: 8})
+	run, maxRun := 0, 0
+	for i := 0; i < 5000; i++ {
+		if runs.OnSend(0, 0, 1, 1, false).Drop {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun < 2 {
+		t.Fatalf("burst schedule produced no drop run (max run %d)", maxRun)
+	}
+	// The MaxAttempts floor holds inside a burst too.
+	floor := New(Config{Seed: 3, Burst: 1, BurstLen: 4, MaxAttempts: 3})
+	for i := 0; i < 50; i++ {
+		if floor.OnSend(0, 0, 1, 3, true).Drop {
+			t.Fatal("reliable traffic at the attempt bound dropped inside a burst")
+		}
+	}
+}
+
+// TestOutageQueries: Down/Cut/OutageEnd are pure schedule lookups — no
+// RNG draws — so they can be consulted from the delivery path without
+// perturbing the fault decision stream.
+func TestOutageQueries(t *testing.T) {
+	cfg, err := ParseSpec("crash=2@1000:500,partition=0.1@2000:300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(cfg)
+	rng := in.rng
+	if in.Down(999, 2) || !in.Down(1000, 2) || !in.Down(1499, 2) || in.Down(1500, 2) {
+		t.Fatal("Down window wrong")
+	}
+	if in.Down(1200, 3) {
+		t.Fatal("wrong node down")
+	}
+	// Partition separates {0,1} from the rest; internal traffic flows.
+	if !in.Cut(2000, 0, 5) || !in.Cut(2100, 5, 1) || in.Cut(2100, 0, 1) || in.Cut(2100, 4, 5) {
+		t.Fatal("Cut membership wrong")
+	}
+	if in.Cut(2300, 0, 5) {
+		t.Fatal("partition did not heal")
+	}
+	if got := in.OutageEnd(1200, 2, 7); got != 1500 {
+		t.Fatalf("OutageEnd during crash = %d, want 1500", got)
+	}
+	if got := in.OutageEnd(2100, 0, 5); got != 2300 {
+		t.Fatalf("OutageEnd during partition = %d, want 2300", got)
+	}
+	if got := in.OutageEnd(50, 0, 5); got != 50 {
+		t.Fatalf("OutageEnd clear path = %d, want 50", got)
+	}
+	if !in.HasCrashes() || len(in.CrashSchedule()) != 1 {
+		t.Fatal("crash schedule not exposed")
+	}
+	if in.rng != rng {
+		t.Fatal("outage queries drew randomness")
+	}
+}
+
+// TestOutageEndChained: back-to-back windows are walked through to the
+// true end of the outage, not just the first window's.
+func TestOutageEndChained(t *testing.T) {
+	cfg, err := ParseSpec("crash=1@1000:500,partition=1.2@1400:400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(cfg)
+	// Node 1 is down 1000-1500; then partitioned from node 3... no wait,
+	// the partition separates {1,2} from everyone else until 1800.
+	if got := in.OutageEnd(1100, 1, 3); got != 1800 {
+		t.Fatalf("chained OutageEnd = %d, want 1800", got)
 	}
 }
 

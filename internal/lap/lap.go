@@ -185,6 +185,31 @@ func (p *Predictor) PickNext(releaser int) lockpolicy.Pick {
 // QueueLen returns the waiting queue length.
 func (p *Predictor) QueueLen() int { return p.queue.Len() }
 
+// RecoverReset discards the waiting queue and replaces it with a fresh
+// one under the same policy. It is the first step of the crash-failover
+// replay (internal/recover): the crashed manager's queue is gone, and the
+// backup rebuilds it record by record with RecoverEnqueue/RecoverRemove.
+// The predictor's own knowledge — virtual queue, affinity matrix, pending
+// prediction, statistics — is NOT reset: prediction state is piggybacked
+// on the replication stream continuously (docs/ROBUSTNESS.md), and
+// resetting the statistics would corrupt the run's Table 3 accounting.
+func (p *Predictor) RecoverReset() {
+	p.queue = lockpolicy.New(p.queue.Kind(), p)
+}
+
+// RecoverEnqueue replays one logged enqueue without re-tracing it: the
+// lock-enqueue event already fired when the request arrived live, and the
+// trace-riding auditor models the queue from those events, so a replay
+// emission would double-count the waiter.
+func (p *Predictor) RecoverEnqueue(proc int) { p.queue.Enqueue(proc) }
+
+// RecoverRemove replays one logged queue grant: the recorded grantee is
+// removed with PickNext's exact bookkeeping (lockpolicy.Queue.Remove)
+// instead of re-running the policy choice, whose oracle inputs may have
+// moved on since the historical decision. No bypass/renewal events are
+// re-traced, for the same reason as RecoverEnqueue.
+func (p *Predictor) RecoverRemove(proc int) bool { return p.queue.Remove(proc) }
+
 // RequestElems is the manager's list-processing element count for one
 // acquire request under the active policy (1 + queue length for the
 // scanning disciplines, a constant for MCS).

@@ -114,6 +114,15 @@ type Queue interface {
 	// mutating any state (-1 when empty). The LAP predictor uses it so
 	// update-set pushes aim at the waiter that will actually win.
 	PeekNext(releaser int) int
+	// Remove deletes the named waiter as if PickNext had chosen it,
+	// updating the same bookkeeping (bypass counts of earlier arrivals,
+	// lease tenure). It exists for the crash-failover replay
+	// (internal/recover): the replication log records WHICH waiter each
+	// historical grant served, so the replay must reproduce that exact
+	// removal rather than re-run the policy's choice against
+	// possibly-changed oracle state. Returns false when proc is not
+	// queued.
+	Remove(proc int) bool
 	// Len returns the number of waiters.
 	Len() int
 	// Waiters appends the waiters in arrival order to dst.
@@ -172,6 +181,16 @@ func (f *fifoQueue) PeekNext(releaser int) int {
 
 func (f *fifoQueue) Waiters(dst []int) []int { return append(dst, f.q...) }
 
+func (f *fifoQueue) Remove(proc int) bool {
+	for i, w := range f.q {
+		if w == proc {
+			f.q = append(f.q[:i], f.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // mcsQueue grants in the same order as fifo — the MCS queue is FIFO by
 // construction — but models the discipline's O(1) manager work: a
 // requester swaps itself onto the queue tail and later spins locally, so
@@ -222,6 +241,19 @@ func (r *reorderQueue) take(i int) Pick {
 	r.q = append(r.q[:i], r.q[i+1:]...)
 	r.bypass = append(r.bypass[:i], r.bypass[i+1:]...)
 	return p
+}
+
+// Remove replays a historical grant: the same take(i) as PickNext, so
+// the bypass counters of earlier arrivals advance exactly as they did
+// live.
+func (r *reorderQueue) Remove(proc int) bool {
+	for i, w := range r.q {
+		if w == proc {
+			r.take(i)
+			return true
+		}
+	}
+	return false
 }
 
 // affinityQueue prefers waiters whose diffs are warm: first the members
@@ -341,4 +373,19 @@ func (l *leaseQueue) PeekNext(releaser int) int {
 		return l.q[i]
 	}
 	return -1
+}
+
+// Remove replays a historical grant with the full lease bookkeeping of
+// PickNext: tenure extends when the removed waiter is the current
+// leaseholder, otherwise the lease migrates to it.
+func (l *leaseQueue) Remove(proc int) bool {
+	if !l.reorderQueue.Remove(proc) {
+		return false
+	}
+	if l.primed && proc == l.holder {
+		l.uses++
+	} else {
+		l.holder, l.uses, l.primed = proc, 1, true
+	}
+	return true
 }

@@ -294,6 +294,70 @@ func TestNoLostWakeupsAllPolicies(t *testing.T) {
 	}
 }
 
+// TestRemoveReplaysPick: the failover-replay contract (internal/recover).
+// A replica queue fed Enqueue(p) / Remove(pick.Proc) in the order the live
+// queue performed Enqueue / PickNext must end up in an indistinguishable
+// state: same waiters, same bypass pressure, same lease tenure — proven by
+// draining both queues afterwards and demanding identical grant sequences.
+func TestRemoveReplaysPick(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				o := &fakeOracle{aff: map[[2]int]uint32{}}
+				live, replica := New(kind, o), New(kind, o)
+				releaser := -1
+				next := 0
+				for _, op := range ops {
+					if op%3 != 0 {
+						live.Enqueue(next)
+						replica.Enqueue(next)
+						o.aff[[2]int{releaser, next}] = uint32(op)
+						if op%5 == 0 {
+							o.warm = []int{next}
+						}
+						next++
+						continue
+					}
+					pk := live.PickNext(releaser)
+					if pk.Proc < 0 {
+						if replica.Remove(-1) {
+							t.Fatalf("%v: replica removed a phantom", kind)
+						}
+						continue
+					}
+					if !replica.Remove(pk.Proc) {
+						t.Fatalf("%v: replica missing waiter %d", kind, pk.Proc)
+					}
+					releaser = pk.Proc
+				}
+				if live.Len() != replica.Len() {
+					t.Fatalf("%v: Len %d vs %d", kind, live.Len(), replica.Len())
+				}
+				lw, rw := live.Waiters(nil), replica.Waiters(nil)
+				for i := range lw {
+					if lw[i] != rw[i] {
+						t.Fatalf("%v: waiters diverged: %v vs %v", kind, lw, rw)
+					}
+				}
+				// The decisive check: both queues grant identically from
+				// here on, so bypass counters and lease tenure replayed too.
+				for live.Len() > 0 {
+					lp, rp := live.PickNext(releaser), replica.PickNext(releaser)
+					if lp != rp {
+						t.Fatalf("%v: post-replay drain diverged: %+v vs %+v", kind, lp, rp)
+					}
+					releaser = lp.Proc
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPeekMatchesPick: PeekNext must be a pure preview of PickNext.
 func TestPeekMatchesPick(t *testing.T) {
 	for _, kind := range Kinds() {

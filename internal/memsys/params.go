@@ -164,6 +164,19 @@ func ShardAssign(i, n int) int {
 	return int(z % uint64(n))
 }
 
+// BackupOf maps a lock manager to the replica node holding its
+// replication log (docs/ROBUSTNESS.md): the ring successor, which is as
+// good as any deterministic choice, spreads backup load evenly, and never
+// picks the manager itself on machines with more than one node. On a
+// one-node machine it returns the manager (there is nowhere else to
+// replicate to, and nothing for a crash to partition away from).
+func BackupOf(mgr, n int) int {
+	if n <= 1 {
+		return mgr
+	}
+	return (mgr + 1) % n
+}
+
 // Validate reports whether the parameter set is internally consistent.
 func (p Params) Validate() error {
 	switch {

@@ -29,6 +29,7 @@ import (
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
+	"aecdsm/internal/recover"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
 	"aecdsm/internal/topo"
@@ -49,6 +50,7 @@ const (
 	kPageRep
 	kBarArrive
 	kBarComplete
+	kRepLog // lock-manager replication log record -> backup node
 )
 
 // Options configures the protocol.
@@ -81,6 +83,12 @@ type Munin struct {
 	nprocs   int
 	pageSize int
 	numLocks int
+
+	// rep is the lock-manager replication log, armed only when the fault
+	// schedule contains crashes (docs/ROBUSTNESS.md); failoverCost holds
+	// the crash-instant failover work until the restart charge.
+	rep          *recover.Replicator
+	failoverCost map[int]uint64
 }
 
 type procState struct {
@@ -223,6 +231,14 @@ func (pr *Munin) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	pr.pages = make([]pageState, s.Pages())
 	for pg := range pr.pages {
 		pr.pages[pg].copyset = bitset.With(pr.nprocs, s.InitHome(pg))
+	}
+	// Crash tolerance: replicate lock-manager actions and fail managers
+	// over at crashes (internal/munin/recover.go).
+	if e.Faults != nil && e.Faults.HasCrashes() {
+		pr.rep = recover.NewReplicator()
+		pr.failoverCost = map[int]uint64{}
+		e.OnCrash(pr.onCrash)
+		e.OnRestart(pr.onRestart)
 	}
 }
 
@@ -377,13 +393,17 @@ func (pr *Munin) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 	l := pr.locks[req.lock]
 	s.ChargeList(l.pred.RequestElems())
 	if l.held {
+		if pr.rep != nil {
+			pr.rep.Ship(s, pr.nprocs, kRepLog,
+				recover.Record{Lock: req.lock, Op: recover.OpEnqueue, Proc: req.from})
+		}
 		l.pred.Enqueue(req.from)
 		return
 	}
-	pr.grantLock(s, req.lock, req.from)
+	pr.grantLock(s, req.lock, req.from, false)
 }
 
-func (pr *Munin) grantLock(s *sim.Svc, lock, to int) {
+func (pr *Munin) grantLock(s *sim.Svc, lock, to int, fromQueue bool) {
 	l := pr.locks[lock]
 	l.pred.Granted(to, l.last)
 	l.held = true
@@ -392,6 +412,11 @@ func (pr *Munin) grantLock(s *sim.Svc, lock, to int) {
 	if pr.opt.UseLAP {
 		us = l.pred.UpdateSet(to)
 		s.ChargeList(len(us) + 1)
+	}
+	if pr.rep != nil {
+		pr.rep.Ship(s, pr.nprocs, kRepLog,
+			recover.Record{Lock: lock, Op: recover.OpGrant, Proc: to, FromQueue: fromQueue,
+				US: append([]int(nil), us...)})
 	}
 	l.curUS = us
 	s.Send(to, kGrant, 16+8*len(us), grantMsg{lock: lock, us: us},
@@ -438,6 +463,10 @@ func (pr *Munin) handleRel(s *sim.Svc, m *sim.Msg) {
 	r := m.Payload.(relMsg)
 	l := pr.locks[r.lock]
 	s.ChargeList(1)
+	if pr.rep != nil {
+		pr.rep.Ship(s, pr.nprocs, kRepLog,
+			recover.Record{Lock: r.lock, Op: recover.OpRelease, Proc: m.From})
+	}
 	l.held = false
 	l.holder = -1
 	l.last = m.From
@@ -451,7 +480,7 @@ func (pr *Munin) handleRel(s *sim.Svc, m *sim.Msg) {
 		if pk.Renewal {
 			s.P.Stats.LeaseRenewals++
 		}
-		pr.grantLock(s, r.lock, pk.Proc)
+		pr.grantLock(s, r.lock, pk.Proc, true)
 	}
 }
 

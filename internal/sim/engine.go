@@ -47,6 +47,11 @@ type Engine struct {
 
 	// rel is the reliable-transport state, allocated by EnableFaults.
 	rel *reliability
+
+	// crashFns/restartFns are the protocols' failover hooks (crash.go),
+	// run in engine context at crash and restart instants.
+	crashFns   []func(node int)
+	restartFns []func(node int) uint64
 }
 
 // New builds an engine for the given parameters. Run statistics are
@@ -92,6 +97,7 @@ func (e *Engine) EnableFaults(cfg fault.Config) {
 	e.Faults = fault.New(cfg)
 	e.Net.Faults = e.Faults
 	e.rel = newReliability()
+	e.scheduleOutages(cfg)
 }
 
 // At schedules fn to run at the given virtual time (or now, if at is in

@@ -22,6 +22,19 @@ package sim
 // retransmission: a dropped push stays lost, and the AEC acquirer times
 // out and falls back to explicit fetches (degraded-mode LAP).
 //
+// Sequence-number persistence (the crash-tier decision, docs/ROBUSTNESS.md):
+// the transport's per-pair sequence counters, the receiver dedup table and
+// the sender's pending-retransmission set are modeled as journaled to
+// node-local stable storage — they survive a crash/restart untouched.
+// Without this, a restarted receiver would re-run a handler for a
+// retransmitted message it already serviced before the crash (breaking
+// exactly-once delivery, and with it the bit-identical-results contract),
+// and a restarted sender would reuse sequence numbers and have fresh
+// messages swallowed by the peer's dedup. Messages IN FLIGHT across an
+// outage are lost (crash.go drops them at transmission and at arrival);
+// the retransmission loop is what carries reliable traffic across the
+// window.
+//
 // When Engine.rel is nil none of this code runs and the message path is
 // byte-for-byte the historical one: zero perturbation.
 
@@ -85,6 +98,13 @@ func (e *Engine) transmit(m *Msg, h Handler, size int, ready Time) {
 	dec := e.Faults.OnSend(ready, m.From, m.To, m.attempt, m.reliable)
 	if m.reliable {
 		e.armRetransmit(seqKey{m.From, m.To, m.seq}, m.attempt, ready)
+	}
+	// A crashed endpoint or a partition between the pair loses the
+	// transmission outright, MaxAttempts floor or not: the link is
+	// physically dead. The retransmission timer above keeps the message
+	// alive until the (finite) outage ends.
+	if !dec.Drop && e.Faults.Outage(ready, m.From, m.To) {
+		dec.Drop = true
 	}
 	if dec.Drop {
 		e.Procs[m.From].Stats.MsgsDropped++
@@ -159,6 +179,19 @@ func (e *Engine) retransmit(key seqKey, tx *pendingTx, at Time) {
 // delivery path (which runs the protocol handler exactly once per
 // sequence number).
 func (e *Engine) deliverTracked(m *Msg, h Handler) {
+	// A message in flight when its destination crashes (or a partition
+	// closes behind it) is lost at arrival: the receiver takes no
+	// interrupt, the handler does not run. Reliable messages recover via
+	// the sender's retransmission loop; best-effort ones stay lost.
+	if e.Faults.Outage(m.ArriveAt, m.From, m.To) {
+		e.Procs[m.From].Stats.MsgsDropped++
+		if e.Tracer != nil {
+			ev := trace.Ev(m.ArriveAt, m.From, trace.KindMsgDrop)
+			ev.Arg, ev.Arg2 = int64(m.To), int64(m.seq)
+			e.Tracer.Trace(ev)
+		}
+		return
+	}
 	p := e.Procs[m.To]
 	pp := &e.Params
 	if stall := e.Faults.OnDeliver(m.ArriveAt, m.To); stall > 0 {
@@ -231,6 +264,9 @@ func (e *Engine) sendAck(m *Msg) {
 	}
 
 	dec := e.Faults.OnSend(done, m.To, m.From, m.attempt, true)
+	if !dec.Drop && e.Faults.Outage(done, m.To, m.From) {
+		dec.Drop = true
+	}
 	if dec.Drop {
 		p.Stats.MsgsDropped++
 		if e.Tracer != nil {

@@ -144,6 +144,208 @@ func TestInjectedStallDelaysDelivery(t *testing.T) {
 	}
 }
 
+// TestDeliveryAcrossReceiverCrash: a message sent into a receiver's crash
+// window is lost on every attempt — the outage bypasses even the
+// MaxAttempts no-drop floor — yet the self-sustaining retransmission loop
+// outlives the outage and delivers exactly once after the restart.
+func TestDeliveryAcrossReceiverCrash(t *testing.T) {
+	e, run := testEngine(2)
+	const windowEnd = 500 + 30000
+	e.EnableFaults(fault.Config{Seed: 1, RTO: 2000, MaxAttempts: 2,
+		Crashes: []fault.Crash{{Node: 1, At: 500, Down: 30000}}})
+	count := 0
+	var deliveredAt Time
+	e.Spawn(0, func(p *Proc) {
+		p.Advance(1000, stats.Busy) // send from inside the window
+		e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+			deliveredAt = s.Now
+			s.Wake(e.Procs[1])
+		})
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.WaitUntil(func() bool { return count > 0 }, stats.Synch)
+	})
+	e.Start()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want exactly 1", count)
+	}
+	if deliveredAt < windowEnd {
+		t.Fatalf("delivered at %d, inside the crash window (ends %d)", deliveredAt, windowEnd)
+	}
+	// The floor says attempt 2 may not be dropped; the dead node drops it
+	// anyway, so the attempt count must have sailed past MaxAttempts.
+	if run.Procs[0].Retransmits <= 2 {
+		t.Fatalf("Retransmits = %d, want > MaxAttempts: the outage must bypass the no-drop floor",
+			run.Procs[0].Retransmits)
+	}
+	if run.Procs[1].NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", run.Procs[1].NodeCrashes)
+	}
+}
+
+// TestPartitionExhaustsMaxAttempts: a partition likewise bypasses the
+// no-drop floor for its whole window — attempts keep failing past
+// MaxAttempts — and delivery lands exactly once after the heal, with the
+// peers' state intact (a partition, unlike a crash, destroys nothing).
+func TestPartitionExhaustsMaxAttempts(t *testing.T) {
+	e, run := testEngine(2)
+	const heal = 40000
+	e.EnableFaults(fault.Config{Seed: 1, RTO: 1000, MaxAttempts: 3,
+		Partitions: []fault.Partition{{Nodes: []int{1}, At: 0, Until: heal}}})
+	count := 0
+	var deliveredAt Time
+	e.Spawn(0, func(p *Proc) {
+		p.Advance(100, stats.Busy)
+		e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+			deliveredAt = s.Now
+			s.Wake(e.Procs[1])
+		})
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.WaitUntil(func() bool { return count > 0 }, stats.Synch)
+	})
+	e.Start()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want exactly 1", count)
+	}
+	if deliveredAt < heal {
+		t.Fatalf("delivered at %d, before the heal at %d", deliveredAt, heal)
+	}
+	if run.Procs[0].Retransmits <= 3 {
+		t.Fatalf("Retransmits = %d, want > MaxAttempts", run.Procs[0].Retransmits)
+	}
+	if run.Procs[1].NodeCrashes != 0 {
+		t.Fatal("a partition must not count as a crash")
+	}
+}
+
+// TestPartitionClosesBehindInFlightMessage: a message transmitted just
+// before a partition opens is lost at arrival (the deliverTracked outage
+// check), not at send — and still recovers via retransmission after heal.
+func TestPartitionClosesBehindInFlightMessage(t *testing.T) {
+	e, run := testEngine(2)
+	const heal = 30000
+	// The send at cycle 100 passes the transmit-side check; the partition
+	// opens at 101, before any network crossing can complete.
+	e.EnableFaults(fault.Config{Seed: 1, RTO: 2000,
+		Partitions: []fault.Partition{{Nodes: []int{1}, At: 101, Until: heal}}})
+	count := 0
+	var deliveredAt Time
+	e.Spawn(0, func(p *Proc) {
+		p.Advance(100, stats.Busy)
+		e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+			deliveredAt = s.Now
+			s.Wake(e.Procs[1])
+		})
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.WaitUntil(func() bool { return count > 0 }, stats.Synch)
+	})
+	e.Start()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want exactly 1", count)
+	}
+	if deliveredAt < heal {
+		t.Fatalf("delivered at %d, before the heal at %d", deliveredAt, heal)
+	}
+	if run.Procs[0].MsgsDropped == 0 {
+		t.Fatal("the in-flight message should have been counted as dropped at arrival")
+	}
+}
+
+// TestAckLossRetransmitDedup: when the data message gets through but its
+// ack is lost (possible while the attempt number is below MaxAttempts),
+// the sender retransmits a message the receiver has already handled — the
+// duplicate must be suppressed and re-acked, never re-run. The seeds are
+// probed for the first schedule exhibiting exactly that shape; the fault
+// injector is seed-deterministic, so the probe is too.
+func TestAckLossRetransmitDedup(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		e, run := testEngine(2)
+		e.EnableFaults(fault.Config{Seed: seed, Drop: 0.5, RTO: 2000, MaxAttempts: 8})
+		count := 0
+		e.Spawn(0, func(p *Proc) {
+			e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+				s.Charge(10)
+				count++
+				s.Wake(e.Procs[1])
+			})
+		})
+		e.Spawn(1, func(p *Proc) {
+			p.WaitUntil(func() bool { return count > 0 }, stats.Synch)
+		})
+		e.Start()
+		if count != 1 {
+			t.Fatalf("seed %d: handler ran %d times, want exactly 1", seed, count)
+		}
+		// The ack-loss signature: delivered once, yet retransmitted and
+		// suppressed as a duplicate, with a second ack going out.
+		if run.Procs[1].DupMsgsSuppressed >= 1 && run.Procs[0].Retransmits >= 1 &&
+			run.Procs[1].AcksSent >= 2 {
+			return
+		}
+	}
+	t.Fatal("no seed in 1..50 exhibited the lost-ack/dedup schedule")
+}
+
+// TestDedupAcrossReceiverRestart: the transport's sequence counters and
+// dedup set are journaled to stable storage (see the package comment in
+// reliable.go), so a restarted receiver still suppresses duplicates of
+// pre- and post-crash deliveries instead of re-running their handlers.
+// With every transmission force-duplicated, each delivery — the clean one
+// before the window and the retried one after the restart — arrives
+// twice; a receiver that lost its dedup set at the crash would run the
+// second handler four times instead of once.
+func TestDedupAcrossReceiverRestart(t *testing.T) {
+	e, run := testEngine(2)
+	const windowEnd = 20000 + 30000
+	e.EnableFaults(fault.Config{Seed: 5, Dup: 1, RTO: 2000, MaxAttempts: 2,
+		Crashes: []fault.Crash{{Node: 1, At: 20000, Down: 30000}}})
+	count := 0
+	var secondAt Time
+	e.Spawn(0, func(p *Proc) {
+		e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+			s.Wake(e.Procs[1])
+		})
+		p.Advance(25000, stats.Busy) // into the receiver's down window
+		e.SendFrom(p, stats.Synch, 1, 1, 64, nil, func(s *Svc, m *Msg) {
+			s.Charge(10)
+			count++
+			secondAt = s.Now
+			s.Wake(e.Procs[1])
+		})
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.WaitUntil(func() bool { return count == 2 }, stats.Synch)
+	})
+	e.Start()
+	if count != 2 {
+		t.Fatalf("handlers ran %d times, want exactly 2 (one per message)", count)
+	}
+	if secondAt < windowEnd {
+		t.Fatalf("second message delivered at %d, inside the crash window (ends %d)",
+			secondAt, windowEnd)
+	}
+	if run.Procs[1].DupMsgsSuppressed < 2 {
+		t.Fatalf("DupMsgsSuppressed = %d, want >= 2 (each delivery's forced duplicate)",
+			run.Procs[1].DupMsgsSuppressed)
+	}
+	if run.Procs[1].NodeCrashes != 1 {
+		t.Fatalf("NodeCrashes = %d, want 1", run.Procs[1].NodeCrashes)
+	}
+	if run.Procs[0].Retransmits == 0 {
+		t.Fatal("the in-window message should have been retransmitted")
+	}
+}
+
 // TestFaultedRunIsDeterministic: the same seed gives bit-identical timing;
 // a different seed is allowed to differ.
 func TestFaultedRunIsDeterministic(t *testing.T) {

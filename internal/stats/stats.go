@@ -133,6 +133,13 @@ type Proc struct {
 	FaultStallCycles     uint64 // injected node-stall cycles
 	RecoveryHiddenCycles uint64 // recovery work overlapped with an existing stall
 
+	// Crash-recovery accounting (all zero unless the fault schedule has
+	// crash clauses; docs/ROBUSTNESS.md).
+	NodeCrashes         uint64 // crash windows this node suffered
+	FailoverCycles      uint64 // cycles spent in the restart failover sweep
+	ReplicaLogBytes     uint64 // replication log bytes this manager shipped
+	OrphanInvalidations uint64 // page copies invalidated by a crash
+
 	// Memory system.
 	CacheMisses          uint64
 	TLBMisses            uint64

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"aecdsm/internal/proto"
+	"aecdsm/internal/recover"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
 	"aecdsm/internal/trace"
@@ -115,10 +116,18 @@ func (pr *TM) handleAcqReq(s *sim.Svc, m *sim.Msg) {
 	l := pr.locks[req.lock]
 	s.ChargeList(l.pred.RequestElems())
 	if l.held {
+		if pr.rep != nil {
+			pr.rep.Ship(s, pr.nprocs, kRepLog,
+				recover.Record{Lock: req.lock, Op: recover.OpEnqueue, Proc: req.from})
+		}
 		l.pred.Enqueue(req.from)
 		// Stash the requester's vector clock for the eventual grant.
 		pr.ps[req.from].stashVC = req.vc
 		return
+	}
+	if pr.rep != nil {
+		pr.rep.Ship(s, pr.nprocs, kRepLog,
+			recover.Record{Lock: req.lock, Op: recover.OpGrant, Proc: req.from})
 	}
 	l.held = true
 	l.holder = req.from
@@ -206,6 +215,10 @@ func (pr *TM) handleRel(s *sim.Svc, m *sim.Msg) {
 	r := m.Payload.(relMsg)
 	l := pr.locks[r.lock]
 	s.ChargeList(1)
+	if pr.rep != nil {
+		pr.rep.Ship(s, pr.nprocs, kRepLog,
+			recover.Record{Lock: r.lock, Op: recover.OpRelease, Proc: m.From})
+	}
 	l.lastReleaser = m.From
 	l.held = false
 	l.holder = -1
@@ -219,6 +232,10 @@ func (pr *TM) handleRel(s *sim.Svc, m *sim.Msg) {
 		}
 		if pk.Renewal {
 			s.P.Stats.LeaseRenewals++
+		}
+		if pr.rep != nil {
+			pr.rep.Ship(s, pr.nprocs, kRepLog,
+				recover.Record{Lock: r.lock, Op: recover.OpGrant, Proc: next, FromQueue: true})
 		}
 		l.held = true
 		l.holder = next

@@ -25,6 +25,7 @@ import (
 	"aecdsm/internal/mem"
 	"aecdsm/internal/memsys"
 	"aecdsm/internal/proto"
+	"aecdsm/internal/recover"
 	"aecdsm/internal/sim"
 	"aecdsm/internal/stats"
 	"aecdsm/internal/topo"
@@ -43,6 +44,7 @@ const (
 	kPageRep
 	kBarArrive
 	kBarRelease
+	kRepLog // lock-manager replication log record -> backup node
 )
 
 // wnRef names one interval's modification of one page.
@@ -227,6 +229,12 @@ type TM struct {
 	nprocs   int
 	pageSize int
 	numLocks int
+
+	// rep is the lock-manager replication log, armed only when the fault
+	// schedule contains crashes (docs/ROBUSTNESS.md); failoverCost holds
+	// the crash-instant failover work until the restart charge.
+	rep          *recover.Replicator
+	failoverCost map[int]uint64
 }
 
 // New builds a TreadMarks protocol instance.
@@ -286,6 +294,14 @@ func (pr *TM) Attach(e *sim.Engine, s *mem.Space, ctxs []*proto.Ctx) {
 	}
 	pr.bar.vc = make([]int, pr.nprocs)
 	pr.bar.arr = make([]bool, pr.nprocs)
+	// Crash tolerance: replicate lock-manager actions and fail managers
+	// over at crashes (internal/tm/recover.go).
+	if e.Faults != nil && e.Faults.HasCrashes() {
+		pr.rep = recover.NewReplicator()
+		pr.failoverCost = map[int]uint64{}
+		e.OnCrash(pr.onCrash)
+		e.OnRestart(pr.onRestart)
+	}
 }
 
 // mgrOf returns the managing processor of a lock: round-robin as in

@@ -133,6 +133,21 @@ const (
 	// leaseholder ahead of other waiters. Proc = manager, Arg = the
 	// leaseholder.
 	KindLeaseRenew
+	// KindNodeCrash: the fault schedule crashed a node; its volatile
+	// protocol state is gone. Proc = the crashed node, Arg = down cycles.
+	KindNodeCrash
+	// KindNodeRestart: a crashed node came back, empty, and the failover
+	// sweep rebuilt its manager state from the backups' replication logs.
+	// Proc = the restarted node, Arg = recovery cycles charged.
+	KindNodeRestart
+	// KindReplicaLog: a lock manager shipped one replication log record to
+	// its backup before letting the logged transition take effect.
+	// Proc = manager, Arg = backup node, Arg2 = record bytes.
+	KindReplicaLog
+	// KindOrphanInval: a page copy orphaned by a crash (a clean cached
+	// frame on the crashed node) was invalidated during failover.
+	// Proc = the crashed node, Page = the frame's page.
+	KindOrphanInval
 
 	numKinds
 )
@@ -171,6 +186,10 @@ var kindNames = [numKinds]string{
 	KindLAPFallback:   "lap-fallback",
 	KindLockBypass:    "lock-bypass",
 	KindLeaseRenew:    "lease-renew",
+	KindNodeCrash:     "node-crash",
+	KindNodeRestart:   "node-restart",
+	KindReplicaLog:    "replica-log",
+	KindOrphanInval:   "orphan-inval",
 }
 
 // String returns the stable wire name of the kind (used by all sinks).
@@ -200,7 +219,8 @@ func (k Kind) Category() string {
 		return "barrier"
 	case KindMsgSend, KindMsgDeliver, KindNetTransfer:
 		return "msg"
-	case KindMsgDrop, KindMsgDup, KindMsgRetry, KindMsgAck:
+	case KindMsgDrop, KindMsgDup, KindMsgRetry, KindMsgAck,
+		KindNodeCrash, KindNodeRestart, KindReplicaLog, KindOrphanInval:
 		return "recovery"
 	case KindFaultStall:
 		return "fault"
