@@ -26,9 +26,14 @@ lint:
 fuzz:
 	$(GO) run ./cmd/fuzzdsm -iters 50
 
-# Diff/merge kernel microbenchmarks plus the scaling-sweep timing,
-# recorded as JSON streams so the perf trajectory is diffable across PRs
-# (docs/PERFORMANCE.md, docs/SCALING.md).
+# Kernel and engine microbenchmarks plus the scaling-sweep timing,
+# condensed by cmd/benchsum into one sorted {benchmark, ns/op, B/op,
+# allocs/op} record per line so the perf trajectory is diffable across
+# PRs (docs/PERFORMANCE.md, docs/SCALING.md).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMakeDiff|BenchmarkMergeDiffs' -benchmem -json . | tee BENCH_kernels.json
-	$(GO) test -run '^$$' -bench 'BenchmarkScaling' -timeout 30m -json . | tee BENCH_scaling.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMakeDiff|BenchmarkMergeDiffs' -benchmem -json . \
+		| $(GO) run ./cmd/benchsum | tee BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkSendDeliver' -benchmem -json ./internal/sim/ \
+		| $(GO) run ./cmd/benchsum -assert-zero-allocs 'BenchmarkSchedule$$|BenchmarkSendDeliver$$' | tee BENCH_engine.json
+	$(GO) test -run '^$$' -bench 'BenchmarkScaling' -timeout 30m -json . \
+		| $(GO) run ./cmd/benchsum | tee BENCH_scaling.json

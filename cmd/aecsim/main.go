@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"aecdsm"
+	"aecdsm/internal/profutil"
 	"aecdsm/internal/stats"
 )
 
@@ -36,8 +37,22 @@ func main() {
 		metrics   = flag.String("metrics", "", "write the per-lock/per-page metrics summary (JSON) to this file")
 		faults    = flag.String("faults", "", "fault schedule: a preset (light, heavy) or clauses like drop=0.05,dup=0.02 (empty = no faults)")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault schedule")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, perr := profutil.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "aecsim:", perr)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "aecsim: writing profile:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("applications:", aecdsm.Apps())

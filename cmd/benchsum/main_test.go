@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	tests := []struct {
+		line string
+		ok   bool
+		want record
+	}{
+		{
+			line: "BenchmarkSchedule-8   \t20000000\t  55.2 ns/op\t       0 B/op\t       0 allocs/op",
+			ok:   true,
+			want: record{Benchmark: "BenchmarkSchedule", NsOp: 55.2, BOp: f(0), AllocsOp: f(0)},
+		},
+		{
+			line: "BenchmarkMakeDiff/clean         \t  941280\t      1367 ns/op\t2996.96 MB/s\t       0 B/op\t       0 allocs/op",
+			ok:   true,
+			want: record{Benchmark: "BenchmarkMakeDiff/clean", NsOp: 1367, BOp: f(0), AllocsOp: f(0), MBs: f(2996.96)},
+		},
+		{
+			line: "BenchmarkScaling/procs=64-8\t       1\t1234567890 ns/op",
+			ok:   true,
+			want: record{Benchmark: "BenchmarkScaling/procs=64", NsOp: 1234567890},
+		},
+		{line: "=== RUN   BenchmarkSchedule", ok: false},
+		{line: "ok  \taecdsm\t12.3s", ok: false},
+		{line: "BenchmarkBroken\tnot-a-number ns/op", ok: false},
+	}
+	for _, tc := range tests {
+		got, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got.Benchmark != tc.want.Benchmark || got.NsOp != tc.want.NsOp ||
+			!eq(got.BOp, tc.want.BOp) || !eq(got.AllocsOp, tc.want.AllocsOp) || !eq(got.MBs, tc.want.MBs) {
+			t.Errorf("parseBenchLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func eq(a, b *float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}

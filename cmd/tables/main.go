@@ -19,6 +19,8 @@
 //	tables -locklab        # lock-policy lab: MVA prediction vs simulation
 //	tables -recovery       # crash-tolerance sweep: faults x protocols (docs/ROBUSTNESS.md)
 //	tables -recovery -recovery-app Ocean
+//	tables -timeline       # execution timeline via engine warm starts
+//	tables -timeline -warm=false   # same bytes, cold replay per horizon
 //
 // The -scaling sweep runs the machine with the scaling architecture
 // enabled (radix-16 barrier combining, hash-sharded homes and lock
@@ -46,6 +48,7 @@ import (
 	"strings"
 
 	"aecdsm"
+	"aecdsm/internal/profutil"
 )
 
 // parseProcs parses the -scaling-procs machine-size list.
@@ -82,11 +85,29 @@ func main() {
 
 		recovery    = flag.Bool("recovery", false, "run the crash-tolerance sweep: fault schedules x DSM protocols (docs/ROBUSTNESS.md)")
 		recoveryApp = flag.String("recovery-app", "IS", "application for -recovery")
+
+		timeline    = flag.Bool("timeline", false, "run the execution-timeline sweep: cycle breakdown sampled at sixths of each protocol's runtime")
+		timelineApp = flag.String("timeline-app", "Raytrace", "application for -timeline")
+		warm        = flag.Bool("warm", true, "sample the timeline from one paused engine per protocol (warm starts) instead of replaying each horizon from cycle zero; the output bytes are identical either way")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (pins -jobs to 1)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file (pins -jobs to 1)")
 	)
 	flag.Parse()
 
+	stopProf, err := profutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tables: writing profile:", err)
+		}
+	}()
+
 	e := aecdsm.NewExperiments(*scale)
-	e.Jobs = *jobs
+	e.Jobs = profutil.Pin(*jobs, *cpuProfile, *memProfile)
 	w := os.Stdout
 
 	var sinks []aecdsm.Tracer
@@ -148,6 +169,8 @@ func main() {
 		e.LockLab(w)
 	case *recovery:
 		e.RecoverySweep(w, *recoveryApp)
+	case *timeline:
+		e.TimelineSweep(w, *timelineApp, *warm)
 	case *table == "" && *figure == "":
 		e.All(w)
 	case *table == "1":

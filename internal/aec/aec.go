@@ -104,6 +104,12 @@ type AEC struct {
 	// hot path free of page-sized allocations.
 	merger *mem.Merger
 
+	// wnFree pools the write-notice snapshot a page home ships with each
+	// base copy. The snapshot rides exactly one page reply and the
+	// requester copies its entries into pendingWN by value, so the
+	// requester recycles the slice there. Entries are pointer-free.
+	wnFree [][]mem.WriteNotice
+
 	// rep is the lock-manager replication log, armed only when the fault
 	// schedule contains crashes (docs/ROBUSTNESS.md). Nil means no
 	// replication traffic at all: runs without crash faults are

@@ -154,6 +154,26 @@ func (pr *AEC) fetchPage(c *proto.Ctx, st *procState, page int, f *mem.Frame) {
 	// may include notices naming us, replayed from the local archive.
 	delete(st.pendingWN, page)
 	st.pendingWN[page] = append(st.pendingWN[page], tk.wns...)
+	pr.freeWNs(tk.wns)
+}
+
+// takeWNs hands out a write-notice slice from the page-reply pool.
+func (pr *AEC) takeWNs() []mem.WriteNotice {
+	if n := len(pr.wnFree); n > 0 {
+		s := pr.wnFree[n-1]
+		pr.wnFree = pr.wnFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// freeWNs recycles a page reply's notice snapshot once its entries have
+// been copied into the requester's pending set.
+func (pr *AEC) freeWNs(wns []mem.WriteNotice) {
+	if cap(wns) == 0 {
+		return
+	}
+	pr.wnFree = append(pr.wnFree, wns[:0])
 }
 
 // handlePageReq serves a page (plus pending write notices) from its home.
@@ -174,7 +194,7 @@ func (pr *AEC) handlePageReq(s *sim.Svc, m *sim.Msg) {
 			req.page, m.To, req.from, pr.e.Now(), bits, f.Valid, len(st.pendingWN[req.page]))
 	}
 	s.ChargeMem(pr.pageSize)
-	wns := append([]mem.WriteNotice(nil), st.pendingWN[req.page]...)
+	wns := append(pr.takeWNs(), st.pendingWN[req.page]...)
 	s.Send(m.From, kPageRep, pr.pageSize+16*len(wns), [2]any{data, wns},
 		func(s2 *sim.Svc, m2 *sim.Msg) {
 			pl := m2.Payload.([2]any)

@@ -61,9 +61,41 @@ func RunTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr t
 // nil fcfg is exactly RunTraced — the fault hooks stay dormant behind
 // their nil checks and the simulated cycle counts are byte-identical.
 func RunFaultTraced(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer, fcfg *fault.Config) *Result {
+	eng, run, split := compose(params, pr, prog, tr, fcfg)
+	if split != nil {
+		return split
+	}
+	if tr != nil {
+		ev := trace.Ev(0, 0, trace.KindRunStart)
+		ev.Arg = int64(params.NumProcs)
+		ev.Note = prog.Name() + "/" + pr.Name()
+		tr.Trace(ev)
+	}
+	eng.Start()
+	if tr != nil {
+		ev := trace.Ev(run.Cycles, 0, trace.KindRunEnd)
+		ev.Note = prog.Name() + "/" + pr.Name()
+		tr.Trace(ev)
+	}
+
+	return &Result{
+		Run:        run,
+		Protocol:   pr,
+		Program:    prog,
+		VerifyErr:  prog.Err(),
+		Deadlocked: eng.Deadlocked,
+	}
+}
+
+// compose assembles the full simulation stack — space, engine, contexts,
+// protocol, bodies — without starting it, so callers can either run it
+// to completion (RunFaultTraced) or drive it in horizon slices
+// (Session). A non-nil third return is the split-refusal Result: the
+// configuration cannot run and the engine was never built.
+func compose(params memsys.Params, pr proto.Protocol, prog proto.Program, tr trace.Tracer, fcfg *fault.Config) (*sim.Engine, *stats.Run, *Result) {
 	if sc, ok := prog.(proto.SplitChecker); ok {
 		if err := sc.CheckSplit(params.NumProcs); err != nil {
-			return &Result{
+			return nil, nil, &Result{
 				Run:      stats.NewRun(prog.Name(), pr.Name(), params.NumProcs),
 				Protocol: pr,
 				Program:  prog,
@@ -122,26 +154,7 @@ func RunFaultTraced(params memsys.Params, pr proto.Protocol, prog proto.Program,
 			pr.Done(c)
 		})
 	}
-	if tr != nil {
-		ev := trace.Ev(0, 0, trace.KindRunStart)
-		ev.Arg = int64(params.NumProcs)
-		ev.Note = prog.Name() + "/" + pr.Name()
-		tr.Trace(ev)
-	}
-	eng.Start()
-	if tr != nil {
-		ev := trace.Ev(run.Cycles, 0, trace.KindRunEnd)
-		ev.Note = prog.Name() + "/" + pr.Name()
-		tr.Trace(ev)
-	}
-
-	return &Result{
-		Run:        run,
-		Protocol:   pr,
-		Program:    prog,
-		VerifyErr:  prog.Err(),
-		Deadlocked: eng.Deadlocked,
-	}
+	return eng, run, nil
 }
 
 // MustRun is Run plus a panic on deadlock or verification failure; used by

@@ -40,6 +40,9 @@ func TestParallelOutputIdentical(t *testing.T) {
 		{"Figure6", func(e *Experiments, b *bytes.Buffer) { e.Figure6(b) }},
 		{"NsSweep", func(e *Experiments, b *bytes.Buffer) { e.NsSweep(b) }},
 		{"KeyStats", func(e *Experiments, b *bytes.Buffer) { e.KeyStats(b) }},
+		{"ScalingSweep", func(e *Experiments, b *bytes.Buffer) { e.ScalingSweep(b, "Ocean", []int{16, 64}) }},
+		{"RecoverySweep", func(e *Experiments, b *bytes.Buffer) { e.RecoverySweep(b, "IS") }},
+		{"Timeline", func(e *Experiments, b *bytes.Buffer) { e.TimelineSweep(b, "Raytrace", true) }},
 	}
 	for _, sec := range sections {
 		sec := sec

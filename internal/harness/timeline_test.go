@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"aecdsm/internal/apps"
+)
+
+// TestTimelineWarmMatchesCold is the warm-start validity contract: the
+// timeline rendered from one paused engine per protocol must be
+// byte-identical to the one where every horizon replays a fresh engine
+// from cycle zero. Any divergence means pausing perturbed the event
+// sequence — a determinism bug in StartUntil/ContinueUntil.
+func TestTimelineWarmMatchesCold(t *testing.T) {
+	var warm, cold bytes.Buffer
+	NewExperiments(0.1).TimelineSweep(&warm, "Raytrace", true)
+	NewExperiments(0.1).TimelineSweep(&cold, "Raytrace", false)
+	if !bytes.Equal(warm.Bytes(), cold.Bytes()) {
+		t.Errorf("warm-start timeline diverged from cold replay:\n%s",
+			diffLines(cold.String(), warm.String()))
+	}
+}
+
+// TestGoldenTimeline diffs the short-mode timeline against the
+// checked-in snapshot, pinning the warm-start sampling path the same way
+// TestGoldenKeyStats pins the main tables. Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestGoldenTimeline -update-golden
+func TestGoldenTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	NewExperiments(goldenScale).TimelineSweep(&buf, "Raytrace", true)
+
+	path := filepath.Join("testdata", "golden_timeline.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline diverged from golden snapshot:\n%s",
+			diffLines(string(want), buf.String()))
+	}
+}
+
+// TestSessionMatchesRun checks that a session driven to completion in
+// horizon slices produces exactly the statistics of an uninterrupted
+// run.
+func TestSessionMatchesRun(t *testing.T) {
+	e := NewExperiments(0.05)
+	full := e.Run("IS", ProtoAEC)
+	total := full.Cycles()
+
+	prog := appsFactory("IS")(apps.Config{Scale: e.Scale, BaseSeed: e.BaseSeed})
+	sess := NewSession(e.Params, NewProtocol(ProtoAEC, 2), prog)
+	for i := uint64(1); i <= 4; i++ {
+		sess.RunUntil(total * i / 4)
+	}
+	r := sess.Finish()
+	if r.Cycles() != total {
+		t.Errorf("sliced run finished at %d cycles, uninterrupted run at %d", r.Cycles(), total)
+	}
+	if !reflect.DeepEqual(full.Run.Procs, r.Run.Procs) {
+		t.Error("sliced run per-processor statistics differ from uninterrupted run")
+	}
+}

@@ -28,6 +28,7 @@ func Analyzers() []*analysis.Analyzer {
 		Chargeflow,
 		Tracedisc,
 		Chargecat,
+		Poolreset,
 	}
 }
 

@@ -31,6 +31,13 @@ type ProcMem struct {
 	frames []Frame
 	proc   int
 
+	// twinFree recycles page-sized twin buffers between intervals:
+	// MakeTwin fully overwrites the buffer, so only capacity survives a
+	// round trip (buffers are recycled at length zero per the poolreset
+	// contract). Twins a protocol steals (f.Twin = nil without DropTwin,
+	// as TreadMarks does for lazy diffing) simply never return here.
+	twinFree [][]byte
+
 	// Tracer and Clock, when both non-nil, emit twin-create and
 	// invalidate events stamped with the owning processor's virtual time.
 	// The harness wires them when tracing is enabled; the nil default
@@ -126,7 +133,12 @@ func (m *ProcMem) Write(a Addr, src []byte) {
 func (m *ProcMem) MakeTwin(page int) {
 	f := m.Frame(page)
 	if f.Twin == nil {
-		f.Twin = make([]byte, len(f.Data))
+		if n := len(m.twinFree); n > 0 && cap(m.twinFree[n-1]) >= len(f.Data) {
+			f.Twin = m.twinFree[n-1][:len(f.Data)]
+			m.twinFree = m.twinFree[:n-1]
+		} else {
+			f.Twin = make([]byte, len(f.Data))
+		}
 	}
 	copy(f.Twin, f.Data)
 	if m.Tracer != nil {
@@ -136,9 +148,15 @@ func (m *ProcMem) MakeTwin(page int) {
 	}
 }
 
-// DropTwin discards the page's twin.
+// DropTwin discards the page's twin, recycling its buffer. Safe because
+// diffs never alias the twin (MakeDiff relocates run data) and the next
+// MakeTwin fully overwrites whatever it pops.
 func (m *ProcMem) DropTwin(page int) {
-	m.frames[page].Twin = nil
+	f := &m.frames[page]
+	if f.Twin != nil {
+		m.twinFree = append(m.twinFree, f.Twin[:0])
+		f.Twin = nil
+	}
 }
 
 // Invalidate marks the page unreadable here.

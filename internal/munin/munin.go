@@ -110,6 +110,11 @@ type procState struct {
 	memAcks   int
 	barOut    bool
 	barComb   int // combining-tree subtree arrival count (tree mode only)
+
+	// flushPages is the reusable sorted dirty-page scratch of flush.
+	// Per-processor, not per-protocol: a flush blocks on acks, and other
+	// processors flush while it waits.
+	flushPages []int
 }
 
 type lockState struct {
@@ -492,11 +497,12 @@ func (pr *Munin) flush(c *proto.Ctx, st *procState, us []int, restrict bool) {
 	if len(st.dirty) == 0 {
 		return
 	}
-	pages := make([]int, 0, len(st.dirty))
+	pages := st.flushPages[:0]
 	for pg := range st.dirty {
 		pages = append(pages, pg)
 	}
 	sort.Ints(pages)
+	st.flushPages = pages[:0]
 
 	st.homeAcks = 0
 	st.memWanted = 0

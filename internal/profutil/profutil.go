@@ -1,0 +1,72 @@
+// Package profutil wires the runtime/pprof CPU and heap profilers into
+// the command-line drivers. Profiling a parallel run superimposes the
+// scheduler's worker interleaving on the simulator's own costs, so the
+// drivers pin -jobs to 1 whenever a profile is requested — the
+// methodology is documented in docs/PERFORMANCE.md ("Profiling the
+// engine").
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (when non-empty) and arranges
+// for a heap profile to be written to memFile (when non-empty). It
+// returns a stop function that must run before the process exits —
+// typically via defer in main — and an error if either file cannot be
+// created. Empty filenames are ignored, so callers can pass the flag
+// values through unconditionally.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuFile != "" {
+		cpuF, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			// Materialize the live heap before snapshotting allocation
+			// counters so the profile reflects steady state, not GC lag.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// Pin returns the job count to use when profiling: 1 if either profile
+// flag is set (with a notice on stderr when that overrides an explicit
+// request), jobs unchanged otherwise.
+func Pin(jobs int, cpuFile, memFile string) int {
+	if cpuFile == "" && memFile == "" {
+		return jobs
+	}
+	if jobs != 1 && jobs != 0 {
+		fmt.Fprintln(os.Stderr, "profiling pins -jobs to 1 (docs/PERFORMANCE.md)")
+	}
+	return 1
+}

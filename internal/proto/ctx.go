@@ -39,6 +39,21 @@ type Ctx struct {
 	InFault bool
 
 	scratch [8]byte
+
+	// bulkBuf is the reusable conversion buffer for the bulk accessors
+	// (Read/WriteF64s, Read/WriteI32s). Safe to reuse because a Ctx is
+	// owned by one processor coroutine and the buffer is only live
+	// between the (possibly blocking) access check and the plain memory
+	// copy that follows — never across a yield.
+	bulkBuf []byte
+}
+
+// bulk returns the conversion buffer grown to n bytes.
+func (c *Ctx) bulk(n int) []byte {
+	if cap(c.bulkBuf) < n {
+		c.bulkBuf = make([]byte, n)
+	}
+	return c.bulkBuf[:n]
 }
 
 // NewCtx builds the context for one processor.
@@ -178,7 +193,7 @@ func (c *Ctx) AddF64(a mem.Addr, v float64) {
 func (c *Ctx) ReadF64s(a mem.Addr, dst []float64) {
 	n := len(dst) * 8
 	c.access(a, n, false)
-	buf := make([]byte, n)
+	buf := c.bulk(n)
 	c.M.Read(a, buf)
 	for i := range dst {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
@@ -189,7 +204,7 @@ func (c *Ctx) ReadF64s(a mem.Addr, dst []float64) {
 func (c *Ctx) WriteF64s(a mem.Addr, src []float64) {
 	n := len(src) * 8
 	c.access(a, n, true)
-	buf := make([]byte, n)
+	buf := c.bulk(n)
 	for i, v := range src {
 		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
 	}
@@ -200,7 +215,7 @@ func (c *Ctx) WriteF64s(a mem.Addr, src []float64) {
 func (c *Ctx) ReadI32s(a mem.Addr, dst []int32) {
 	n := len(dst) * 4
 	c.access(a, n, false)
-	buf := make([]byte, n)
+	buf := c.bulk(n)
 	c.M.Read(a, buf)
 	for i := range dst {
 		dst[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
@@ -211,7 +226,7 @@ func (c *Ctx) ReadI32s(a mem.Addr, dst []int32) {
 func (c *Ctx) WriteI32s(a mem.Addr, src []int32) {
 	n := len(src) * 4
 	c.access(a, n, true)
-	buf := make([]byte, n)
+	buf := c.bulk(n)
 	for i, v := range src {
 		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
 	}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"aecdsm/internal/fault"
@@ -36,14 +35,22 @@ type Engine struct {
 
 	now      Time
 	seq      uint64
-	events   eventHeap
+	events   timerWheel
 	finished int
+
+	// msgFree/svcFree are the engine's message and service-context free
+	// lists (plain slices: the engine core is single-threaded). Every
+	// recycled object is field-reset before it goes back on the list —
+	// the pool-hygiene contract dsmvet's poolreset rule enforces.
+	msgFree []*Msg
+	svcFree []*Svc
 
 	// Deadlocked is set if the event queue drained while processors were
 	// still blocked.
 	Deadlocked bool
 
-	bodies []func(*Proc)
+	bodies   []func(*Proc)
+	launched bool
 
 	// rel is the reliable-transport state, allocated by EnableFaults.
 	rel *reliability
@@ -136,10 +143,14 @@ func (e *Engine) step(p *Proc) {
 	}
 }
 
-// Start launches all processor goroutines and runs the event loop until
-// every processor's body has returned (or deadlock). It returns the
-// parallel execution time: the maximum processor clock.
-func (e *Engine) Start() Time {
+// launch starts every processor goroutine and seeds the event queue
+// with their cycle-0 resume events. Idempotent: the first run call does
+// the launch, later continues skip it.
+func (e *Engine) launch() {
+	if e.launched {
+		return
+	}
+	e.launched = true
 	for i, body := range e.bodies {
 		if body == nil {
 			panic(fmt.Sprintf("sim: processor %d has no body", i))
@@ -156,19 +167,40 @@ func (e *Engine) Start() Time {
 		}()
 		e.scheduleStep(0, p)
 	}
+}
+
+// runUntil dispatches events until the run completes (returns false) or
+// the next pending event is at or beyond horizon (returns true: the run
+// is paused with every processor stack live and can be continued).
+// Pausing happens only between dispatches — no processor goroutine is
+// mid-resume — so a paused engine is exactly the state a cold run
+// reaches after the same event prefix.
+func (e *Engine) runUntil(horizon Time) bool {
 	for e.finished < len(e.Procs) {
-		if len(e.events) == 0 {
+		if e.events.Len() == 0 {
 			e.Deadlocked = true
-			break
+			return false
 		}
-		ev := e.pop()
+		if horizon != Forever && e.events.peek() >= horizon {
+			return true
+		}
+		ev := e.events.pop()
 		e.now = ev.at
-		if ev.proc != nil {
+		switch {
+		case ev.proc != nil:
 			e.step(ev.proc)
-		} else {
+		case ev.h != nil:
+			e.deliver(ev.m, ev.h)
+		default:
 			ev.fn()
 		}
 	}
+	return false
+}
+
+// finalize records and returns the parallel execution time: the maximum
+// processor clock.
+func (e *Engine) finalize() Time {
 	var max Time
 	for _, p := range e.Procs {
 		if p.Clock > max {
@@ -179,6 +211,36 @@ func (e *Engine) Start() Time {
 	return max
 }
 
-func (e *Engine) pop() event {
-	return heap.Pop(&e.events).(event)
+// Start launches all processor goroutines and runs the event loop until
+// every processor's body has returned (or deadlock). It returns the
+// parallel execution time: the maximum processor clock.
+func (e *Engine) Start() Time {
+	e.launch()
+	e.runUntil(Forever)
+	return e.finalize()
+}
+
+// StartUntil launches the run and dispatches events up to (not
+// including) the given virtual-time horizon, then pauses. It returns
+// true while the run has more to do; continue with ContinueUntil or
+// Finish. Statistics read while paused are exactly those a fresh run
+// stopped at the same horizon would show — the event sequence is
+// deterministic and the pause point is a pure function of the horizon.
+func (e *Engine) StartUntil(horizon Time) bool {
+	e.launch()
+	return e.runUntil(horizon)
+}
+
+// ContinueUntil resumes a paused run up to a further horizon — a warm
+// start: no replay from cycle zero, the processor stacks never stopped
+// being live.
+func (e *Engine) ContinueUntil(horizon Time) bool {
+	return e.runUntil(horizon)
+}
+
+// Finish resumes a paused run to completion and returns the parallel
+// execution time.
+func (e *Engine) Finish() Time {
+	e.runUntil(Forever)
+	return e.finalize()
 }

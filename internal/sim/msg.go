@@ -24,6 +24,29 @@ type Msg struct {
 	tracked  bool
 }
 
+// reset clears every field so a recycled message carries nothing — no
+// payload reference, no stale transport bookkeeping — into its next use.
+func (m *Msg) reset() { *m = Msg{} }
+
+// allocMsg takes a message from the free list (or allocates the pool's
+// next one). The returned message is always field-reset.
+func (e *Engine) allocMsg() *Msg {
+	if n := len(e.msgFree); n > 0 {
+		m := e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+// freeMsg recycles a delivered message. Callers must not free tracked
+// messages: the reliable transport retains them (pendingTx) for
+// retransmission until the ack lands.
+func (e *Engine) freeMsg(m *Msg) {
+	m.reset()
+	e.msgFree = append(e.msgFree, m)
+}
+
 // Handler services a delivered message on the destination node. It runs in
 // service context: use s.Charge for processing costs and s.Send for
 // replies; everything is charged to the destination processor's service
@@ -37,6 +60,28 @@ type Svc struct {
 	P   *Proc // the processor doing the servicing
 	Now Time  // service-local current time
 	m   *Msg
+}
+
+// reset clears every field so a recycled service context carries no
+// engine, processor or message reference into its next delivery.
+func (s *Svc) reset() { *s = Svc{} }
+
+// allocSvc takes a service context from the free list (or allocates).
+func (e *Engine) allocSvc() *Svc {
+	if n := len(e.svcFree); n > 0 {
+		s := e.svcFree[n-1]
+		e.svcFree = e.svcFree[:n-1]
+		return s
+	}
+	return &Svc{}
+}
+
+// freeSvc recycles a service context after its handler has returned.
+// Handlers run synchronously inside deliver and never retain s (replies
+// get a fresh context at their own delivery), so the recycle is safe.
+func (e *Engine) freeSvc(s *Svc) {
+	s.reset()
+	e.svcFree = append(e.svcFree, s)
 }
 
 // Charge advances service time by the given cycles.
@@ -107,15 +152,16 @@ func (e *Engine) sendOpt(from *Proc, now Time, to, kind, bytes int, payload any,
 		// DMA the message across the sender's I/O bus.
 		senderDone = from.IOBus.Transfer(senderDone, pp.Words(size))
 	}
-	m := &Msg{From: from.ID, To: to, Kind: kind, Bytes: bytes,
-		Payload: payload, SentAt: now}
+	m := e.allocMsg()
+	m.From, m.To, m.Kind, m.Bytes = from.ID, to, kind, bytes
+	m.Payload, m.SentAt = payload, now
 	if e.rel != nil && to != from.ID {
 		e.relSend(m, h, size, senderDone, reliable)
 		return senderDone
 	}
 	arrive := e.Net.Transfer(senderDone, from.ID, to, size)
 	m.ArriveAt = arrive
-	e.schedule(arrive, func() { e.deliver(m, h) })
+	e.scheduleDeliver(arrive, m, h)
 	return senderDone
 }
 
@@ -127,7 +173,8 @@ func (e *Engine) deliver(m *Msg, h Handler) {
 	if p.svcBusyUntil > start {
 		start = p.svcBusyUntil
 	}
-	s := &Svc{E: e, P: p, Now: start, m: m}
+	s := e.allocSvc()
+	s.E, s.P, s.Now, s.m = e, p, start, m
 	// Interrupt dispatch plus pulling the message across the I/O bus.
 	if m.From != m.To {
 		s.Charge(pp.InterruptCycles)
@@ -136,10 +183,17 @@ func (e *Engine) deliver(m *Msg, h Handler) {
 	h(s, m)
 	p.svcBusyUntil = s.Now
 	svc := s.Now - start
+	e.freeSvc(s)
 	if e.Tracer != nil {
 		ev := trace.Ev(start, m.To, trace.KindMsgDeliver)
 		ev.Arg, ev.Arg2 = int64(m.From), int64(svc)
 		e.Tracer.Trace(ev)
+	}
+	if !m.tracked {
+		// Handlers extract the payload synchronously and never retain
+		// the message; tracked messages stay with the reliable
+		// transport for retransmission.
+		e.freeMsg(m)
 	}
 	if p.Blocked() || p.done {
 		// Service overlapped an existing stall: hidden.

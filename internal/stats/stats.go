@@ -163,6 +163,15 @@ func NewRun(app, protocol string, n int) *Run {
 	return &Run{App: app, Protocol: protocol, Procs: make([]Proc, n)}
 }
 
+// Clone deep-copies the run. Proc holds only scalar counters, so
+// copying the slice is a full snapshot — used by sweeps that sample a
+// live engine's statistics mid-run (harness warm starts).
+func (r *Run) Clone() *Run {
+	c := *r
+	c.Procs = append([]Proc(nil), r.Procs...)
+	return &c
+}
+
 // TotalBreakdown sums the per-processor breakdowns.
 func (r *Run) TotalBreakdown() Breakdown {
 	var b Breakdown

@@ -136,7 +136,7 @@ func (pr *TM) fetchAndApplyDiffs(c *proto.Ctx, st *tmProc, page int, wns []wnRef
 	// Same-chain intervals are totally ordered; truly concurrent ones
 	// modify disjoint words in race-free programs, so ties are broken
 	// deterministically.
-	all = topoOrder(all)
+	all = pr.topoSc.order(all)
 	pp := &pr.e.Params
 	f := c.M.Frame(page)
 	for _, fd := range all {

@@ -37,6 +37,7 @@ func (pr *TM) Acquire(c *proto.Ctx, lock int) {
 	} else {
 		pr.applyWNs(c, st, g.wns)
 	}
+	pr.freeWNs(g.wns)
 	mergeVC(st.vc, g.vc)
 	c.Epoch++
 }

@@ -18,6 +18,7 @@
 package tm
 
 import (
+	"math/bits"
 	"sort"
 
 	"aecdsm/internal/lap"
@@ -145,37 +146,161 @@ func (a ivalDiff) before(b ivalDiff) bool {
 	return b.vc[a.proc] >= a.seq
 }
 
+// topoScratch holds the reusable working set of the happens-before sort:
+// successor bitset rows, in-degrees and the ready heap. One instance
+// lives on each TM protocol (the engine core is single-threaded, and the
+// sort never yields mid-run, so reuse across page faults is safe); the
+// zero value is ready to use.
+type topoScratch struct {
+	succ   []uint64 // n rows of w words: bit j*w+i set means j precedes i
+	indeg  []int32
+	ready  []int32 // binary heap of ready indices, keyed (seq, proc, idx)
+	sorted []ivalDiff
+}
+
 // topoOrder sorts fetched diffs into a happens-before-consistent order:
 // repeatedly emit an interval no remaining interval precedes, breaking
-// ties by (seq, proc) deterministically.
+// ties by (seq, proc) and then input position deterministically. The
+// recompute-readiness reference loop (topoOrderRef in tm_test.go, kept as
+// the property-test oracle) is O(n³) in the fetched diff count and
+// dominated whole-table runs; this computes the identical order as a Kahn
+// topological sort — O(n²) pairwise edge construction once, then an index
+// heap so every pick is the same (seq, proc, position)-minimal ready
+// interval the reference scan would have chosen.
 func topoOrder(in []ivalDiff) []ivalDiff {
-	out := make([]ivalDiff, 0, len(in))
-	rest := append([]ivalDiff(nil), in...)
-	for len(rest) > 0 {
-		pick := -1
-		for i, cand := range rest {
-			ready := true
-			for j, other := range rest {
-				if i != j && other.before(cand) {
-					ready = false
-					break
+	var sc topoScratch
+	return sc.order(in)
+}
+
+// less orders ready candidates exactly as the reference loop's first-wins
+// minimum scan: by seq, then proc, then original input position.
+func (sc *topoScratch) less(in []ivalDiff, a, b int32) bool {
+	if in[a].seq != in[b].seq {
+		return in[a].seq < in[b].seq
+	}
+	if in[a].proc != in[b].proc {
+		return in[a].proc < in[b].proc
+	}
+	return a < b
+}
+
+func (sc *topoScratch) push(in []ivalDiff, v int32) {
+	sc.ready = append(sc.ready, v)
+	i := len(sc.ready) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !sc.less(in, sc.ready[i], sc.ready[p]) {
+			break
+		}
+		sc.ready[i], sc.ready[p] = sc.ready[p], sc.ready[i]
+		i = p
+	}
+}
+
+func (sc *topoScratch) pop(in []ivalDiff) int32 {
+	h := sc.ready
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	sc.ready = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && sc.less(in, h[r], h[l]) {
+			c = r
+		}
+		if !sc.less(in, h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+func (sc *topoScratch) order(in []ivalDiff) []ivalDiff {
+	n := len(in)
+	if n <= 1 {
+		return in
+	}
+	w := (n + 63) / 64
+	if cap(sc.succ) < n*w {
+		sc.succ = make([]uint64, n*w)
+		sc.indeg = make([]int32, n)
+	}
+	succ := sc.succ[:n*w]
+	indeg := sc.indeg[:n]
+	for i := range succ {
+		succ[i] = 0
+	}
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && in[j].before(in[i]) {
+				succ[j*w+i/64] |= 1 << uint(i%64)
+				indeg[i]++
+			}
+		}
+	}
+	sc.ready = sc.ready[:0]
+	for i := n - 1; i >= 0; i-- {
+		if indeg[i] == 0 {
+			sc.push(in, int32(i))
+		}
+	}
+	if cap(sc.sorted) < n {
+		sc.sorted = make([]ivalDiff, 0, n)
+	}
+	out := sc.sorted[:0]
+	emitted := 0
+	// forced tracks nodes emitted by the cycle fallback so a later
+	// in-degree decrement cannot re-emit them. Consistent vector clocks
+	// cannot form a cycle, so the path is never taken in practice; it
+	// mirrors the reference loop's pick of the first remaining interval.
+	var forced []bool
+	next := 0 // scan cursor for the fallback
+	for emitted < n {
+		var v int32
+		if len(sc.ready) > 0 {
+			v = sc.pop(in)
+		} else {
+			if forced == nil {
+				forced = make([]bool, n)
+			}
+			for forced[next] || indeg[next] < 0 {
+				next++
+			}
+			v = int32(next)
+			forced[v] = true
+		}
+		out = append(out, in[v])
+		emitted++
+		indeg[v] = -1 // emitted marker
+		row := succ[int(v)*w : int(v)*w+w]
+		for wi, word := range row {
+			for word != 0 {
+				b := word & -word
+				u := int32(wi*64 + bits.TrailingZeros64(word))
+				word &^= b
+				indeg[u]--
+				if indeg[u] == 0 && (forced == nil || !forced[u]) {
+					sc.push(in, u)
 				}
 			}
-			if !ready {
-				continue
-			}
-			if pick < 0 || cand.seq < rest[pick].seq ||
-				(cand.seq == rest[pick].seq && cand.proc < rest[pick].proc) {
-				pick = i
-			}
 		}
-		if pick < 0 {
-			pick = 0 // cycle cannot happen with consistent clocks; be safe
-		}
-		out = append(out, rest[pick])
-		rest = append(rest[:pick], rest[pick+1:]...)
 	}
-	return out
+	// Permute the caller's slice in place via the scratch buffer and hand
+	// it back: callers keep the result across engine yield points, so it
+	// must not alias scratch another fault could overwrite.
+	copy(in, out)
+	sc.sorted = out[:0]
+	return in
 }
 
 type barArrive struct {
@@ -229,6 +354,18 @@ type TM struct {
 	nprocs   int
 	pageSize int
 	numLocks int
+
+	// topoSc is the happens-before sort's reusable working set; safe to
+	// share across page faults because the engine core is single-threaded
+	// and the sort never yields.
+	topoSc topoScratch
+
+	// wnFree pools grant write-notice slices. A slice is built by the
+	// releaser in collectWNs, rides exactly one grant, and is consumed
+	// by value in the acquirer's applyWNs — nothing retains it, so the
+	// acquirer recycles it at the end of Acquire. Entries are pointer-
+	// free (wnRef is three ints), so truncation is a full reset.
+	wnFree [][]wnRef
 
 	// rep is the lock-manager replication log, armed only when the fault
 	// schedule contains crashes (docs/ROBUSTNESS.md); failoverCost holds
@@ -474,8 +611,29 @@ func (pr *TM) applyWNs(ctx *proto.Ctx, st *tmProc, wns []wnRef) int {
 // collectWNs gathers the write notices for all intervals the target (with
 // vector clock tvc) has not seen, from the perspective of a processor
 // whose knowledge is svc.
+// takeWNs hands out a write-notice slice from the grant pool (length 0,
+// capacity whatever its last trip accumulated).
+func (pr *TM) takeWNs() []wnRef {
+	if n := len(pr.wnFree); n > 0 {
+		s := pr.wnFree[n-1]
+		pr.wnFree = pr.wnFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// freeWNs recycles a grant's write-notice slice once the acquirer has
+// consumed it. Only the grant path may call this: barrier notice sets
+// are shared across release messages and stay unpooled.
+func (pr *TM) freeWNs(wns []wnRef) {
+	if cap(wns) == 0 {
+		return
+	}
+	pr.wnFree = append(pr.wnFree, wns[:0])
+}
+
 func (pr *TM) collectWNs(svc, tvc []int) []wnRef {
-	var out []wnRef
+	out := pr.takeWNs()
 	for p := 0; p < pr.nprocs; p++ {
 		for seq := tvc[p] + 1; seq <= svc[p]; seq++ {
 			rec := pr.ps[p].ivals[seq]

@@ -102,6 +102,115 @@ func TestTopoOrderProperty(t *testing.T) {
 	}
 }
 
+// topoOrderRef is the original recompute-readiness O(n³) sort, kept as
+// the oracle for the Kahn-with-index-heap implementation in tm.go: every
+// round it re-scans the remaining intervals for those with no remaining
+// predecessor and emits the (seq, proc)-minimal one, first-wins on ties.
+func topoOrderRef(in []ivalDiff) []ivalDiff {
+	out := make([]ivalDiff, 0, len(in))
+	rest := append([]ivalDiff(nil), in...)
+	for len(rest) > 0 {
+		pick := -1
+		for i, cand := range rest {
+			ready := true
+			for j, other := range rest {
+				if i != j && other.before(cand) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if pick < 0 || cand.seq < rest[pick].seq ||
+				(cand.seq == rest[pick].seq && cand.proc < rest[pick].proc) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cycle cannot happen with consistent clocks; be safe
+		}
+		out = append(out, rest[pick])
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+	return out
+}
+
+// TestTopoOrderMatchesRef: the optimized sort emits bit-for-bit the same
+// sequence as the reference loop, including duplicate (proc, seq) entries
+// (one interval's diffs for several pages share ordering metadata) and
+// concurrent intervals where only the deterministic tie-break orders the
+// output. Identity is checked on the diff pointers, not just the keys.
+func TestTopoOrderMatchesRef(t *testing.T) {
+	f := func(script []uint8, dup uint8) bool {
+		const n = 4
+		clocks := make([][]int, n)
+		for i := range clocks {
+			clocks[i] = make([]int, n)
+		}
+		var all []ivalDiff
+		for _, b := range script {
+			p := int(b) % n
+			if b%2 == 0 {
+				q := int(b/2) % n
+				for k := 0; k < n; k++ {
+					if clocks[q][k] > clocks[p][k] {
+						clocks[p][k] = clocks[q][k]
+					}
+				}
+			} else {
+				clocks[p][p]++
+				all = append(all, iv(p, clocks[p][p], append([]int(nil), clocks[p]...)...))
+			}
+		}
+		// Duplicate some intervals under fresh diff identities, the
+		// shape a multi-page interval produces.
+		for i := 0; i < len(all) && i < int(dup); i++ {
+			d := all[i]
+			d.d = &mem.Diff{Page: i + 1}
+			all = append(all, d)
+		}
+		want := topoOrderRef(all)
+		got := topoOrder(all)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].d != want[i].d || got[i].proc != want[i].proc || got[i].seq != want[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopoOrderScratchReuse: back-to-back sorts through one scratch (the
+// in-engine usage) stay identical to fresh-scratch sorts.
+func TestTopoOrderScratchReuse(t *testing.T) {
+	var sc topoScratch
+	for round := 0; round < 3; round++ {
+		var in []ivalDiff
+		for p := 0; p < 3; p++ {
+			for s := 1; s <= 2+round; s++ {
+				vc := make([]int, 3)
+				vc[p] = s
+				in = append(in, iv(p, s, vc...))
+			}
+		}
+		want := topoOrderRef(in)
+		got := sc.order(in)
+		for i := range want {
+			if got[i].proc != want[i].proc || got[i].seq != want[i].seq {
+				t.Fatalf("round %d: order[%d] = p%d#%d, want p%d#%d",
+					round, i, got[i].proc, got[i].seq, want[i].proc, want[i].seq)
+			}
+		}
+	}
+}
+
 func TestCollectWNsBounds(t *testing.T) {
 	pr := New()
 	pr.numLocks = 1
